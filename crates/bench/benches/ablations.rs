@@ -1,0 +1,192 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **2-round vs 3-round tribe-assisted RBC** — good-case certification
+//!    latency of the two constructions (paper §3 vs §4).
+//! 2. **Fan-out bandwidth model on/off** — under a flat-bandwidth model the
+//!    clan protocols lose their saturation advantage (the n_c/n
+//!    cancellation DESIGN.md substitution 2 describes); this ablation makes
+//!    the modelling assumption visible instead of baked-in.
+//! 3. **Straw-man PoA pipeline latency** — the §1 analysis: disseminate →
+//!    certify (2δ) → queue (δ) → consensus commit (3δ) ≈ 6δ, versus the
+//!    pipelined single-clan commit at 3δ, computed from the same simulated
+//!    network delays.
+
+use clanbft_crypto::{Authenticator, Registry, Scheme};
+use clanbft_rbc::standalone::{AnyNode, StandaloneNode};
+use clanbft_rbc::{BytesPayload, ClanTopology, EngineConfig};
+use clanbft_sim::{build_tribe, collect_metrics, tribe::elect_clan, TribeSpec};
+use clanbft_simnet::bandwidth::BandwidthModel;
+use clanbft_simnet::cost::CostModel;
+use clanbft_simnet::net::{SimConfig, Simulator};
+use clanbft_types::{Micros, PartyId, Round, TribeParams};
+use std::sync::Arc;
+
+/// Good-case certification latency of each t-RBC construction on a 20-node
+/// tribe with an 8-member clan.
+fn rbc_round_ablation() {
+    println!("--- ablation 1: 2-round vs 3-round tribe-assisted RBC ---");
+    let n = 20usize;
+    let clan: Vec<PartyId> = (0..8u32).map(|i| PartyId(2 * i)).collect();
+    for two_round in [false, true] {
+        let topology = Arc::new(ClanTopology::single_clan(
+            TribeParams::new(n),
+            clan.clone(),
+        ));
+        let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 3);
+        let payload = BytesPayload::new(vec![7u8; 512 * 1024]);
+        let nodes: Vec<AnyNode<BytesPayload>> = keypairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                let me = PartyId(i as u32);
+                let auth = Arc::new(Authenticator::new(i, kp, Arc::clone(&registry)));
+                let cfg = EngineConfig::new(me, Arc::clone(&topology), CostModel::default());
+                let mut node = if two_round {
+                    StandaloneNode::two(cfg, auth)
+                } else {
+                    StandaloneNode::three(cfg)
+                };
+                if i == 0 {
+                    node = node.with_broadcast(Round(0), payload.clone());
+                }
+                AnyNode::Honest(node)
+            })
+            .collect();
+        let mut sim = Simulator::new(SimConfig::benign(n, 5), nodes);
+        sim.run_until(Micros::from_secs(10));
+        let worst = (0..n as u32)
+            .filter_map(|i| match sim.node(PartyId(i)) {
+                AnyNode::Honest(h) => h.certified.first().map(|c| c.2),
+                AnyNode::Byzantine(_) => None,
+            })
+            .max()
+            .expect("certified everywhere");
+        println!(
+            "  {}: last party certified at {worst}",
+            if two_round { "2-round (Fig. 3)" } else { "3-round (Fig. 2)" }
+        );
+    }
+    println!();
+}
+
+/// Saturation throughput with and without the fan-out penalty.
+fn bandwidth_model_ablation() {
+    // n = 50 at full 6000-tx load: Sailfish's fan-out (49) sits inside the
+    // penalty region while the clan's (31) barely does.
+    println!("--- ablation 2: fan-out bandwidth penalty on/off (n = 50, 6000 tx/prop) ---");
+    for (name, bw) in [
+        ("fan-out penalty (default)", BandwidthModel::default()),
+        ("flat 100 MB/s", BandwidthModel::flat(100.0e6)),
+    ] {
+        for (proto, clans) in [
+            ("Sailfish      ", None),
+            ("single-clan 32", Some(vec![elect_clan(50, 32, 2)])),
+        ] {
+            let mut spec = TribeSpec::new(50);
+            spec.clans = clans;
+            spec.txs_per_proposal = 6000;
+            spec.max_round = Some(10);
+            spec.bandwidth = bw;
+            let mut built = build_tribe(&spec);
+            built.sim.run_until(Micros::from_secs(3_000));
+            let m = collect_metrics(&built.sim, &built.honest, 2, 8);
+            println!(
+                "  {name:<28} {proto}: {:>7.1} kTPS, latency {:>7.1} ms",
+                m.throughput_tps / 1e3,
+                m.avg_latency.as_millis_f64()
+            );
+        }
+    }
+    println!("  (under flat bandwidth the clan advantage at saturation collapses — the\n   fan-out penalty is what the paper's measured gap implies; see DESIGN.md)\n");
+}
+
+/// Measured straw-man pipeline vs. pipelined single-clan Sailfish at light
+/// load on the same 10-node tribe (clan of 5).
+fn strawman_measured_ablation() {
+    use clanbft_consensus::{StrawmanConfig, StrawmanNode};
+    use clanbft_crypto::{Authenticator, Registry, Scheme};
+    use clanbft_types::TribeParams;
+
+    println!("--- ablation 3b: measured straw-man vs pipelined single-clan (n = 10) ---");
+    let n = 10usize;
+    let clan_u32: Vec<u32> = vec![0, 2, 4, 6, 8];
+
+    // Straw-man run.
+    let topology = Arc::new(ClanTopology::single_clan(
+        TribeParams::new(n),
+        clan_u32.iter().map(|&i| PartyId(i)).collect(),
+    ));
+    let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 13);
+    let mut cfg = SimConfig::benign(n, 13);
+    cfg.cost = CostModel::default();
+    let nodes: Vec<StrawmanNode> = keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let me = PartyId(i as u32);
+            let auth = Arc::new(Authenticator::new(i, kp, Arc::clone(&registry)));
+            StrawmanNode::new(
+                StrawmanConfig {
+                    me,
+                    topology: Arc::clone(&topology),
+                    slot_interval: Micros::from_millis(300),
+                    max_slots: 20,
+                    txs_per_block: if topology.clan_for_sender(me).contains(me) { 50 } else { 0 },
+                    tx_bytes: 512,
+                },
+                auth,
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, nodes);
+    sim.run_until(Micros::from_secs(30));
+    let node = sim.node(PartyId(1));
+    let strawman_avg = node
+        .committed
+        .iter()
+        .map(|c| c.committed_at.saturating_sub(c.created_at).as_secs_f64())
+        .sum::<f64>()
+        / node.committed.len().max(1) as f64;
+
+    // Single-clan Sailfish run, same tribe and load.
+    let mut spec = TribeSpec::new(n);
+    spec.clans = Some(vec![clan_u32.iter().map(|&i| PartyId(i)).collect()]);
+    spec.txs_per_proposal = 50;
+    spec.max_round = Some(12);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(60));
+    let m = collect_metrics(&built.sim, &built.honest, 2, 10);
+    println!("  straw-man PoA pipeline:     avg latency {:.0} ms", strawman_avg * 1e3);
+    println!("  single-clan Sailfish:       avg latency {:.0} ms", m.avg_latency.as_millis_f64());
+    println!("  (the pipelined design folds dissemination into consensus — paper §1)
+");
+}
+
+/// The §1 straw-man latency arithmetic on the simulated network's δ.
+fn strawman_latency_ablation() {
+    println!("--- ablation 3: straw-man PoA pipeline vs pipelined clan dissemination ---");
+    // Average one-way delay δ across region pairs (the network's effective δ).
+    let lat = clanbft_simnet::regions::LatencyMatrix::evenly_distributed(10);
+    let mut sum = 0.0;
+    let mut count = 0u32;
+    for a in 0..10u32 {
+        for b in 0..10u32 {
+            if a != b {
+                sum += lat.one_way(PartyId(a), PartyId(b)).as_millis_f64();
+                count += 1;
+            }
+        }
+    }
+    let delta = sum / count as f64;
+    println!("  mean one-way δ over Table 1 placement: {delta:.1} ms");
+    println!("  straw-man (separate PoA layer): 2δ (PoA) + 1δ (queueing) + 3δ (commit) = {:.0} ms", 6.0 * delta);
+    println!("  pipelined single-clan Sailfish:                         1 RBC + 1δ = {:.0} ms", 3.0 * delta);
+    println!("  Arete-style (PoA + Jolteon 5δ):                                 8δ = {:.0} ms", 8.0 * delta);
+}
+
+fn main() {
+    rbc_round_ablation();
+    bandwidth_model_ablation();
+    strawman_measured_ablation();
+    strawman_latency_ablation();
+}

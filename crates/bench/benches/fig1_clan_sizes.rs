@@ -1,0 +1,31 @@
+//! Figure 1: clan sizes required for an honest majority with failure
+//! probability below 10⁻⁹, for tribe sizes 100..1000.
+//!
+//! Prints the series under both tail conventions (the paper's concrete
+//! numbers follow the strict-majority tail; Eq. 1 as printed is one or two
+//! members more conservative at even sizes). See EXPERIMENTS.md.
+
+use clanbft_committee::hypergeom::Tail;
+use clanbft_committee::sizing::clan_size_series;
+
+fn main() {
+    let ns: Vec<u64> = (1..=10).map(|k| k * 100).collect();
+    let threshold = 1e-9;
+    println!("=== Figure 1: minimal clan size, failure probability < 1e-9 ===\n");
+    println!(
+        "{:>6} {:>6} {:>22} {:>22}",
+        "n", "f", "clan (strict tail)", "clan (Eq.1 printed)"
+    );
+    let strict = clan_size_series(&ns, threshold, Tail::StrictDishonestMajority);
+    let printed = clan_size_series(&ns, threshold, Tail::NoHonestMajority);
+    for (s, p) in strict.iter().zip(&printed) {
+        println!(
+            "{:>6} {:>6} {:>14} ({:.2e}) {:>14} ({:.2e})",
+            s.n, s.f, s.clan_size, s.prob, p.clan_size, p.prob
+        );
+    }
+    println!(
+        "\npaper anchor: n=500 → clan 184 (§1); our strict-tail minimum at n=500 is {}",
+        strict.iter().find(|r| r.n == 500).expect("n=500 in series").clan_size
+    );
+}

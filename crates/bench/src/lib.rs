@@ -1,0 +1,36 @@
+//! Shared helpers for the figure-reproduction benches.
+//!
+//! Every bench target in this crate regenerates one table or figure from the
+//! paper's evaluation and prints the same rows/series the paper reports.
+//! Run them with `cargo bench -p clanbft-bench` (all) or
+//! `cargo bench -p clanbft-bench --bench fig5_throughput_latency` (one).
+//!
+//! Scale control: figure benches default to a reduced sweep that finishes in
+//! minutes; set `CLANBFT_FULL=1` for the paper's full parameter grid.
+
+use clanbft_sim::{ExperimentSpec, Proto, RunMetrics};
+
+/// True when the full (paper-scale) sweep was requested.
+pub fn full_scale() -> bool {
+    std::env::var("CLANBFT_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Runs one throughput/latency data point with bench-standard settings.
+pub fn run_point(proto: Proto, n: usize, txs_per_proposal: u32, rounds: u64) -> RunMetrics {
+    let mut spec = ExperimentSpec::new(proto, n, txs_per_proposal);
+    spec.rounds = rounds;
+    spec.warmup_rounds = 2;
+    spec.cooldown_rounds = 2;
+    spec.run()
+}
+
+/// Formats one throughput/latency row the way the paper's plots read.
+pub fn fmt_point(label: &str, txs: u32, m: &RunMetrics) -> String {
+    format!(
+        "{label:<34} txs/proposal={txs:<5} throughput={:>8.1} kTPS   latency={:>8.1} ms   (p99 {:>8.1} ms, {} txs)",
+        m.throughput_tps / 1e3,
+        m.avg_latency.as_millis_f64(),
+        m.p99_latency.as_millis_f64(),
+        m.committed_txs
+    )
+}

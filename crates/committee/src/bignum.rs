@@ -1,0 +1,333 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Just what exact hypergeometric arithmetic needs: addition, subtraction,
+//! comparison, multiplication (by limb and by big), exact division by a
+//! limb, and lossy conversion to `f64` with a binary exponent so that huge
+//! ratios can be evaluated without overflow. Limbs are little-endian `u64`.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
+/// normalized: no trailing zero limbs, zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint::from_u64(1)
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> BigUint {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u128;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let s = a + b + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self × k` for a limb `k`.
+    pub fn mul_u64(&self, k: u64) -> BigUint {
+        if k == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let p = limb as u128 * k as u128 + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Schoolbook `self × other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[idx] as u128 + carry;
+                out[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Divides by a limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn div_rem_u64(&self, k: u64) -> (BigUint, u64) {
+        assert!(k != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / k as u128) as u64;
+            rem = cur % k as u128;
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Exact division by a limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the division leaves a remainder (indicates a logic error in
+    /// binomial recurrences, which are always exact).
+    pub fn div_exact_u64(&self, k: u64) -> BigUint {
+        let (q, r) = self.div_rem_u64(k);
+        assert_eq!(r, 0, "division was not exact");
+        q
+    }
+
+    /// Lossy conversion: returns `(mantissa, exponent)` with
+    /// `self ≈ mantissa × 2^exponent` and `mantissa ∈ [0.5, 1)` (or `(0, 0)`
+    /// for zero).
+    pub fn to_f64_exp(&self) -> (f64, i64) {
+        let bits = self.bits();
+        if bits == 0 {
+            return (0.0, 0);
+        }
+        // Take the top 64 bits as an integer mantissa.
+        let take = bits.min(64);
+        let mut mant = 0u64;
+        for i in 0..take {
+            let bit_idx = bits - 1 - i;
+            let b = (self.limbs[bit_idx / 64] >> (bit_idx % 64)) & 1;
+            mant = (mant << 1) | b;
+        }
+        let mant_f = mant as f64 / (1u128 << take) as f64;
+        (mant_f, bits as i64)
+    }
+
+    /// The ratio `self / other` as an `f64`, correct to double precision
+    /// even when both operands are astronomically large.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(&self, other: &BigUint) -> f64 {
+        assert!(!other.is_zero(), "ratio denominator is zero");
+        if self.is_zero() {
+            return 0.0;
+        }
+        let (ma, ea) = self.to_f64_exp();
+        let (mb, eb) = other.to_f64_exp();
+        (ma / mb) * 2f64.powi((ea - eb) as i32)
+    }
+
+    /// Decimal string (for debugging and experiment output).
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10);
+            digits.push((b'0' + r as u8) as char);
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arithmetic() {
+        let a = BigUint::from_u64(123456789);
+        let b = BigUint::from_u64(987654321);
+        assert_eq!(a.add(&b), BigUint::from_u64(1111111110));
+        assert_eq!(b.sub(&a), BigUint::from_u64(864197532));
+        assert_eq!(a.mul_u64(2), BigUint::from_u64(246913578));
+        assert_eq!(
+            a.mul(&b).to_decimal(),
+            (123456789u128 * 987654321u128).to_string()
+        );
+    }
+
+    #[test]
+    fn carry_across_limbs() {
+        let max = BigUint::from_u64(u64::MAX);
+        let sum = max.add(&BigUint::one());
+        assert_eq!(sum.bits(), 65);
+        assert_eq!(sum.sub(&BigUint::one()), max);
+        let sq = max.mul(&max);
+        // (2^64−1)² = 2^128 − 2^65 + 1.
+        assert_eq!(sq.to_decimal(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn div_rem() {
+        let v = BigUint::from_u64(1000).mul(&BigUint::from_u64(u64::MAX)).add(&BigUint::from_u64(7));
+        let (q, r) = v.div_rem_u64(1000);
+        assert_eq!(q, BigUint::from_u64(u64::MAX));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exact")]
+    fn inexact_division_panics() {
+        BigUint::from_u64(7).div_exact_u64(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn ratio_of_giants() {
+        // 2^300 / 2^301 = 0.5 exactly.
+        let mut a = BigUint::one();
+        for _ in 0..300 {
+            a = a.mul_u64(2);
+        }
+        let b = a.mul_u64(2);
+        assert!((a.ratio(&b) - 0.5).abs() < 1e-12);
+        assert!((b.ratio(&a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_precision() {
+        // 10^40 / (3 · 10^40) = 1/3.
+        let mut a = BigUint::one();
+        for _ in 0..40 {
+            a = a.mul_u64(10);
+        }
+        let b = a.mul_u64(3);
+        assert!((a.ratio(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+        assert_eq!(BigUint::from_u64(42).to_decimal(), "42");
+        let v = BigUint::from_u64(10).mul(&BigUint::from_u64(u64::MAX));
+        assert_eq!(v.to_decimal(), "184467440737095516150");
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from_u64(255).bits(), 8);
+        assert_eq!(BigUint::from_u64(u64::MAX).add(&BigUint::one()).bits(), 65);
+    }
+}

@@ -1,0 +1,118 @@
+//! Exact binomial coefficients over [`BigUint`].
+
+use crate::bignum::BigUint;
+
+/// Computes `C(n, k)` exactly.
+///
+/// Uses the multiplicative recurrence `C(n, i) = C(n, i−1) · (n−i+1) / i`,
+/// which stays exact at every step.
+pub fn binomial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 1..=k {
+        acc = acc.mul_u64(n - i + 1).div_exact_u64(i);
+    }
+    acc
+}
+
+/// A row cache for repeated `C(n, ·)` lookups with a fixed `n`.
+///
+/// The hypergeometric sums evaluate many coefficients from the same row;
+/// caching the row makes the Fig. 1 sweep effectively instantaneous.
+pub struct BinomialRow {
+    n: u64,
+    row: Vec<BigUint>,
+}
+
+impl BinomialRow {
+    /// Precomputes `C(n, k)` for all `k ∈ 0..=n`.
+    pub fn new(n: u64) -> BinomialRow {
+        let mut row = Vec::with_capacity(n as usize + 1);
+        let mut acc = BigUint::one();
+        row.push(acc.clone());
+        for i in 1..=n {
+            acc = acc.mul_u64(n - i + 1).div_exact_u64(i);
+            row.push(acc.clone());
+        }
+        BinomialRow { n, row }
+    }
+
+    /// Looks up `C(n, k)`; zero when `k > n`.
+    pub fn get(&self, k: u64) -> BigUint {
+        if k > self.n {
+            BigUint::zero()
+        } else {
+            self.row[k as usize].clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), BigUint::one());
+        assert_eq!(binomial(5, 0), BigUint::one());
+        assert_eq!(binomial(5, 5), BigUint::one());
+        assert_eq!(binomial(5, 2), BigUint::from_u64(10));
+        assert_eq!(binomial(10, 3), BigUint::from_u64(120));
+        assert_eq!(binomial(3, 5), BigUint::zero());
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in [10u64, 50, 100] {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in [7u64, 30, 64] {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1).add(&binomial(n - 1, k));
+                assert_eq!(lhs, rhs, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_to_power_of_two() {
+        // Σ_k C(n,k) = 2^n.
+        let n = 100u64;
+        let row = BinomialRow::new(n);
+        let mut sum = BigUint::zero();
+        for k in 0..=n {
+            sum = sum.add(&row.get(k));
+        }
+        let mut pow = BigUint::one();
+        for _ in 0..n {
+            pow = pow.mul_u64(2);
+        }
+        assert_eq!(sum, pow);
+    }
+
+    #[test]
+    fn large_value_known() {
+        // C(1000, 2) = 499500; C(52, 5) = 2598960.
+        assert_eq!(binomial(1000, 2), BigUint::from_u64(499500));
+        assert_eq!(binomial(52, 5), BigUint::from_u64(2598960));
+    }
+
+    #[test]
+    fn row_matches_direct() {
+        let row = BinomialRow::new(37);
+        for k in 0..=37 {
+            assert_eq!(row.get(k), binomial(37, k));
+        }
+        assert_eq!(row.get(38), BigUint::zero());
+    }
+}

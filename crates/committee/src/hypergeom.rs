@@ -1,0 +1,205 @@
+//! Single-clan dishonest-majority probability (paper Eq. 1).
+//!
+//! Drawing `n_c` parties uniformly without replacement from a tribe of `n`
+//! parties containing `f` Byzantine ones, the number of Byzantine members is
+//! hypergeometric. The clan loses its honest majority when Byzantine members
+//! reach `⌈n_c/2⌉`:
+//!
+//! ```text
+//! Pr[dishonest majority] = Σ_{k=⌈n_c/2⌉}^{n_c}  C(f,k)·C(n−f, n_c−k) / C(n, n_c)
+//! ```
+
+use crate::bignum::BigUint;
+use crate::binomial::{binomial, BinomialRow};
+
+/// How a "failed" clan draw is counted for even clan sizes.
+///
+/// For odd `n_c` the two conventions coincide. For even `n_c` they differ
+/// on the tied draw `k = n_c/2`:
+///
+/// * [`Tail::NoHonestMajority`] counts the tie as a failure — this is Eq. 1
+///   exactly as printed in the paper (sum from `⌈n_c/2⌉`), and is the sound
+///   convention for the execution-layer argument (`n_c ≥ 2f_c + 1`).
+/// * [`Tail::StrictDishonestMajority`] counts only draws where Byzantine
+///   members strictly outnumber honest ones (sum from `⌊n_c/2⌋ + 1`). The
+///   paper's *concrete numbers* (clan sizes 32/60/80 at 10⁻⁶ for
+///   n = 50/100/150, and 184 at 10⁻⁹ for n = 500) are only reproducible
+///   under this convention; Eq. 1 as printed gives 1.37×10⁻⁹ at
+///   (500, 166, 184) and 1.22×10⁻⁴ at (50, 16, 32). See `EXPERIMENTS.md`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tail {
+    /// Failure when the clan merely loses its honest majority (tie fails).
+    NoHonestMajority,
+    /// Failure only when Byzantine members strictly outnumber honest ones.
+    StrictDishonestMajority,
+}
+
+impl Tail {
+    /// First Byzantine count that counts as a failure for clan size `nc`.
+    pub fn threshold(self, nc: u64) -> u64 {
+        match self {
+            Tail::NoHonestMajority => nc.div_ceil(2),
+            Tail::StrictDishonestMajority => nc / 2 + 1,
+        }
+    }
+}
+
+/// Exact numerator and denominator of Eq. 1 as big integers, under the
+/// chosen tail convention.
+///
+/// Returns `(bad, total)` where the probability is `bad / total`.
+pub fn dishonest_majority_counts_tail(
+    n: u64,
+    f: u64,
+    nc: u64,
+    tail: Tail,
+) -> (BigUint, BigUint) {
+    assert!(f <= n, "f={f} exceeds n={n}");
+    assert!(nc <= n, "nc={nc} exceeds n={n}");
+    let total = binomial(n, nc);
+    let honest = n - f;
+    let byz_row = BinomialRow::new(f);
+    let hon_row = BinomialRow::new(honest);
+    let mut bad = BigUint::zero();
+    let from = tail.threshold(nc);
+    for k in from..=nc.min(f) {
+        if nc - k > honest {
+            continue;
+        }
+        bad = bad.add(&byz_row.get(k).mul(&hon_row.get(nc - k)));
+    }
+    (bad, total)
+}
+
+/// Exact numerator and denominator of Eq. 1 as printed (tie = failure).
+pub fn dishonest_majority_counts(n: u64, f: u64, nc: u64) -> (BigUint, BigUint) {
+    dishonest_majority_counts_tail(n, f, nc, Tail::NoHonestMajority)
+}
+
+/// Exact-arithmetic evaluation of Eq. 1 (as printed) converted to `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use clanbft_committee::dishonest_majority_prob;
+///
+/// // The paper's running example: n = 500, f = 166, clan of 184. Under the
+/// // printed Eq. 1 the failure probability is ~1.37e-9 (the paper's quoted
+/// // 1e-9 uses the strict-majority tail; see `hypergeom::Tail`).
+/// let p = dishonest_majority_prob(500, 166, 184);
+/// assert!(p < 2e-9);
+/// ```
+pub fn dishonest_majority_prob(n: u64, f: u64, nc: u64) -> f64 {
+    let (bad, total) = dishonest_majority_counts(n, f, nc);
+    bad.ratio(&total)
+}
+
+/// Eq. 1 under the strict-majority tail (the paper's concrete-number
+/// convention); see [`Tail`] for the distinction.
+pub fn strict_dishonest_majority_prob(n: u64, f: u64, nc: u64) -> f64 {
+    let (bad, total) = dishonest_majority_counts_tail(n, f, nc, Tail::StrictDishonestMajority);
+    bad.ratio(&total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: enumerate Byzantine counts with f64 binomials
+    /// (safe for tiny populations).
+    fn reference_prob(n: u64, f: u64, nc: u64) -> f64 {
+        fn c(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let mut acc = 1.0f64;
+            for i in 1..=k {
+                acc = acc * (n - i + 1) as f64 / i as f64;
+            }
+            acc
+        }
+        let mut bad = 0.0;
+        for k in nc.div_ceil(2)..=nc {
+            bad += c(f, k) * c(n - f, nc - k);
+        }
+        bad / c(n, nc)
+    }
+
+    #[test]
+    fn matches_f64_reference_small() {
+        for (n, f, nc) in [(10, 3, 5), (20, 6, 9), (30, 9, 15), (12, 3, 4)] {
+            let exact = dishonest_majority_prob(n, f, nc);
+            let approx = reference_prob(n, f, nc);
+            assert!(
+                (exact - approx).abs() < 1e-10 * approx.max(1e-30),
+                "n={n} f={f} nc={nc}: {exact} vs {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // §1: n = 500, f = 166, n_c = 184 → failure probability ≈ 1e-9.
+        // The paper's quoted number uses the strict-majority tail.
+        let p = strict_dishonest_majority_prob(500, 166, 184);
+        assert!(p < 1e-9, "p = {p}");
+        // Under the printed Eq. 1 (tie = failure) it is just above 1e-9.
+        let p_printed = dishonest_majority_prob(500, 166, 184);
+        assert!((1e-9..2e-9).contains(&p_printed), "p_printed = {p_printed}");
+        // And it is tight-ish: a clan ~14 smaller violates the bound.
+        let p_small = strict_dishonest_majority_prob(500, 166, 170);
+        assert!(p_small > 1e-9, "p_small = {p_small}");
+    }
+
+    #[test]
+    fn tails_agree_on_odd_sizes() {
+        for nc in [5u64, 33, 75, 129] {
+            assert_eq!(
+                dishonest_majority_prob(300, 99, nc),
+                strict_dishonest_majority_prob(300, 99, nc),
+                "nc={nc}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_tail_is_no_larger() {
+        for nc in [4u64, 32, 60, 80] {
+            let loose = dishonest_majority_prob(150, 49, nc);
+            let strict = strict_dishonest_majority_prob(150, 49, nc);
+            assert!(strict <= loose, "nc={nc}: {strict} > {loose}");
+        }
+    }
+
+    #[test]
+    fn whole_tribe_clan_is_safe() {
+        // Taking the whole tribe as the clan: f < n/3 < n/2, so a dishonest
+        // majority is impossible.
+        assert_eq!(dishonest_majority_prob(100, 33, 100), 0.0);
+    }
+
+    #[test]
+    fn all_byzantine_tribe_always_fails() {
+        assert!((dishonest_majority_prob(10, 10, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_clan_size() {
+        // Failure probability falls (weakly) as clans grow by two (same
+        // parity keeps the majority threshold aligned).
+        let mut prev = f64::INFINITY;
+        for nc in (10..60).step_by(2) {
+            let p = dishonest_majority_prob(150, 49, nc);
+            assert!(p <= prev + 1e-18, "nc={nc}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn probability_in_unit_interval() {
+        for nc in [1u64, 5, 33, 99, 149] {
+            let p = dishonest_majority_prob(150, 49, nc);
+            assert!((0.0..=1.0).contains(&p), "nc={nc} p={p}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Clan sizing and election for clanbft.
+//!
+//! The paper's statistical backbone: when a clan of `n_c` parties is drawn
+//! uniformly from a tribe of `n` parties containing `f` Byzantine ones, the
+//! probability that the clan loses its honest majority follows the
+//! hypergeometric distribution (paper Eq. 1). This crate computes those
+//! probabilities *exactly* with big-integer rationals and derives:
+//!
+//! * [`sizing::min_clan_size`] — the Fig. 1 curve (smallest `n_c` with
+//!   failure probability below a threshold);
+//! * [`multiclan::partition_dishonest_prob`] — the exact multi-clan failure
+//!   probability of §6.2 (Eqs. 3–7), generalized to any clan count; and
+//! * [`election`] — seeded uniform and region-balanced clan election, plus
+//!   disjoint tribe partitioning.
+
+pub mod bignum;
+pub mod binomial;
+pub mod election;
+pub mod hypergeom;
+pub mod multiclan;
+pub mod sizing;
+
+pub use election::ClanAssignment;
+pub use hypergeom::dishonest_majority_prob;
+pub use multiclan::partition_dishonest_prob;
+pub use sizing::min_clan_size;

@@ -1,0 +1,241 @@
+//! Multi-clan partition failure probability (paper §6.2, Eqs. 3–7).
+//!
+//! When the tribe is partitioned into `q` disjoint clans, the Byzantine
+//! parties split across all clans simultaneously, so the per-clan draws are
+//! *not* independent — which is exactly the flaw the paper identifies in
+//! Arete's analysis. We count, exactly:
+//!
+//! * `N` — the number of ways to draw the ordered sequence of disjoint
+//!   clans, and
+//! * `s` — the number of those draws in which *every* clan keeps its honest
+//!   majority (`w_i ≤ f_{c,i}` Byzantine members in clan `i`),
+//!
+//! giving `Pr[some clan has a dishonest majority] = 1 − s/N` (Eq. 5). The
+//! recursion generalizes the paper's 2- and 3-clan derivations to any clan
+//! count and to clans of unequal size (needed when `q ∤ n`; leftover parties
+//! remain unassigned).
+
+use crate::bignum::BigUint;
+use crate::binomial::binomial;
+use std::collections::HashMap;
+
+/// Splits `n` parties into `q` clan sizes as evenly as possible
+/// (`n/q` rounded up for the first `n mod q` clans).
+///
+/// # Panics
+///
+/// Panics if `q == 0` or `q > n`.
+pub fn even_clan_sizes(n: u64, q: u64) -> Vec<u64> {
+    assert!(q > 0, "need at least one clan");
+    assert!(q <= n, "more clans than parties");
+    (0..q).map(|i| n / q + u64::from(i < n % q)).collect()
+}
+
+/// Exact probability that at least one clan in a partition has a dishonest
+/// majority.
+///
+/// * `n` — tribe size; `f` — Byzantine parties in the tribe.
+/// * `sizes` — clan sizes; their sum may be less than `n` (leftover parties
+///   belong to no clan).
+///
+/// Clan `i` tolerates `⌊(sizes[i]−1)/2⌋` Byzantine members.
+///
+/// # Panics
+///
+/// Panics if `f > n` or `Σ sizes > n`.
+pub fn partition_dishonest_prob(n: u64, f: u64, sizes: &[u64]) -> f64 {
+    let (good, total) = partition_counts(n, f, sizes);
+    let bad = total.sub(&good);
+    bad.ratio(&total)
+}
+
+/// Exact `(good, total)` counts behind [`partition_dishonest_prob`].
+pub fn partition_counts(n: u64, f: u64, sizes: &[u64]) -> (BigUint, BigUint) {
+    assert!(f <= n, "f={f} exceeds n={n}");
+    let assigned: u64 = sizes.iter().sum();
+    assert!(assigned <= n, "clans exceed tribe");
+    let honest = n - f;
+
+    // Total ordered selections: Π C(remaining, size_i).
+    let mut total = BigUint::one();
+    let mut remaining = n;
+    for &sz in sizes {
+        total = total.mul(&binomial(remaining, sz));
+        remaining -= sz;
+    }
+
+    // Good selections: recursion over clans on (index, byzantine used).
+    let mut memo: HashMap<(usize, u64), BigUint> = HashMap::new();
+    let good = count_good(0, 0, n, f, honest, sizes, &mut memo);
+    (good, total)
+}
+
+fn count_good(
+    i: usize,
+    byz_used: u64,
+    n: u64,
+    f: u64,
+    honest: u64,
+    sizes: &[u64],
+    memo: &mut HashMap<(usize, u64), BigUint>,
+) -> BigUint {
+    if i == sizes.len() {
+        // Leftover (unassigned) parties must absorb the remaining Byzantine
+        // parties; the complement is determined, contributing one way.
+        let assigned: u64 = sizes.iter().sum();
+        let leftover = n - assigned;
+        let byz_left = f - byz_used;
+        return if byz_left <= leftover { BigUint::one() } else { BigUint::zero() };
+    }
+    if let Some(v) = memo.get(&(i, byz_used)) {
+        return v.clone();
+    }
+    let consumed: u64 = sizes[..i].iter().sum();
+    let byz_pool = f - byz_used;
+    let hon_pool = honest - (consumed - byz_used);
+    let nc = sizes[i];
+    let fc = (nc - 1) / 2;
+    let mut acc = BigUint::zero();
+    for w in 0..=fc.min(byz_pool).min(nc) {
+        if nc - w > hon_pool {
+            continue;
+        }
+        let ways = binomial(byz_pool, w).mul(&binomial(hon_pool, nc - w));
+        if ways.is_zero() {
+            continue;
+        }
+        let rest = count_good(i + 1, byz_used + w, n, f, honest, sizes, memo);
+        acc = acc.add(&ways.mul(&rest));
+    }
+    memo.insert((i, byz_used), acc.clone());
+    acc
+}
+
+/// Largest clan count `q` such that partitioning `n` parties evenly keeps
+/// every clan honest-majority except with probability at most `threshold`.
+///
+/// Returns `(q, sizes, prob)`; `q = 1` degenerates to the full tribe, which
+/// always satisfies any threshold when `f < n/2`.
+pub fn max_clan_count(n: u64, f: u64, threshold: f64) -> (u64, Vec<u64>, f64) {
+    let mut best = (1, vec![n], 0.0);
+    for q in 2..=n {
+        let sizes = even_clan_sizes(n, q);
+        if sizes.iter().any(|&s| s < 3) {
+            break;
+        }
+        let p = partition_dishonest_prob(n, f, &sizes);
+        if p <= threshold {
+            best = (q, sizes, p);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergeom::dishonest_majority_counts;
+
+    #[test]
+    fn even_sizes() {
+        assert_eq!(even_clan_sizes(150, 2), vec![75, 75]);
+        assert_eq!(even_clan_sizes(387, 3), vec![129, 129, 129]);
+        assert_eq!(even_clan_sizes(10, 3), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn paper_concrete_number_two_clans() {
+        // §6.2: n = 150 split into two clans → Pr ≈ 4.015e-6.
+        let f = (150 - 1) / 3;
+        let p = partition_dishonest_prob(150, f, &even_clan_sizes(150, 2));
+        assert!(
+            (p - 4.015e-6).abs() / 4.015e-6 < 0.02,
+            "two-clan probability {p:e} != 4.015e-6"
+        );
+    }
+
+    #[test]
+    fn paper_concrete_number_three_clans() {
+        // §6.2: n = 387 split into three clans → Pr ≈ 1.11e-6.
+        let f = (387 - 1) / 3;
+        let p = partition_dishonest_prob(387, f, &even_clan_sizes(387, 3));
+        assert!(
+            (p - 1.11e-6).abs() / 1.11e-6 < 0.02,
+            "three-clan probability {p:e} != 1.11e-6"
+        );
+    }
+
+    #[test]
+    fn single_clan_matches_hypergeometric() {
+        // With q = 1 and a partial clan, the recursion must reproduce Eq. 1.
+        let (n, f, nc) = (100u64, 33u64, 40u64);
+        let p_partition = partition_dishonest_prob(n, f, &[nc]);
+        let (bad, total) = dishonest_majority_counts(n, f, nc);
+        let p_hyper = bad.ratio(&total);
+        assert!(
+            (p_partition - p_hyper).abs() < 1e-15 + 1e-9 * p_hyper,
+            "{p_partition} vs {p_hyper}"
+        );
+    }
+
+    #[test]
+    fn full_tribe_single_clan_never_fails() {
+        assert_eq!(partition_dishonest_prob(99, 32, &[99]), 0.0);
+    }
+
+    #[test]
+    fn more_clans_fail_more_often() {
+        let n = 300u64;
+        let f = (n - 1) / 3;
+        let p2 = partition_dishonest_prob(n, f, &even_clan_sizes(n, 2));
+        let p3 = partition_dishonest_prob(n, f, &even_clan_sizes(n, 3));
+        let p5 = partition_dishonest_prob(n, f, &even_clan_sizes(n, 5));
+        assert!(p2 < p3 && p3 < p5, "p2={p2:e} p3={p3:e} p5={p5:e}");
+    }
+
+    #[test]
+    fn tiny_exhaustive_cross_check() {
+        // n = 6, f = 2, two clans of 3: enumerate all C(6,3) = 20 ordered
+        // splits by brute force over party subsets.
+        let n = 6u64;
+        let f = 2u64; // parties 0,1 are Byzantine
+        let sizes = [3u64, 3u64];
+        let mut good = 0u64;
+        let mut total = 0u64;
+        for mask in 0u32..(1 << 6) {
+            if mask.count_ones() != 3 {
+                continue;
+            }
+            total += 1;
+            let byz_in_first = (mask & 0b11).count_ones() as u64;
+            let byz_in_second = 2 - byz_in_first;
+            // fc for a clan of 3 is 1.
+            if byz_in_first <= 1 && byz_in_second <= 1 {
+                good += 1;
+            }
+        }
+        let expect = 1.0 - good as f64 / total as f64;
+        let got = partition_dishonest_prob(n, f, &sizes);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn leftover_parties_handled() {
+        // 10 parties, clans of 3+3, 4 left over, f = 3: valid as long as
+        // each clan keeps ≤ 1 Byzantine member.
+        let p = partition_dishonest_prob(10, 3, &[3, 3]);
+        assert!(p > 0.0 && p < 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn max_clan_count_paper_points() {
+        let f150 = (150 - 1) / 3;
+        let (q, _, p) = max_clan_count(150, f150, 1e-5);
+        assert_eq!(q, 2, "n=150 supports two clans at ~1e-5 (paper: 4.015e-6), p={p:e}");
+        let f387 = (387 - 1) / 3;
+        let (q, _, p) = max_clan_count(387, f387, 1e-5);
+        assert!(q >= 3, "n=387 supports three clans (paper: 1.11e-6), p={p:e}");
+    }
+}

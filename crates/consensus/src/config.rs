@@ -1,0 +1,79 @@
+//! Node configuration for the three protocol variants.
+
+use clanbft_rbc::ClanTopology;
+use clanbft_simnet::cost::CostModel;
+use clanbft_types::{Micros, PartyId, TribeParams};
+use std::sync::Arc;
+
+/// Per-node configuration.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// This party.
+    pub me: PartyId,
+    /// Tribe fault parameters.
+    pub tribe: TribeParams,
+    /// Clan topology (decides who receives whose blocks).
+    pub topology: Arc<ClanTopology>,
+    /// Seed for the leader schedule rotation.
+    pub schedule_seed: u64,
+    /// CPU cost model (shared with the RBC engines).
+    pub cost: CostModel,
+    /// Round timeout before announcing a missing leader vertex.
+    pub timeout: Micros,
+    /// Stop proposing after this round (`None` = run forever). Lets finite
+    /// tests run the simulator to quiescence.
+    pub max_round: Option<u64>,
+    /// Synthetic transactions per proposal (0 = propose empty blocks).
+    pub txs_per_proposal: u32,
+    /// Synthetic transaction size in bytes (the paper uses 512).
+    pub tx_bytes: u32,
+    /// Whether this party proposes non-empty blocks. Under single-clan only
+    /// clan members do; under the other variants everybody does.
+    pub is_block_proposer: bool,
+    /// Verify certificate/vote signature bytes for real (tests) or charge
+    /// their cost only (large simulations).
+    pub verify_sigs: bool,
+    /// Run the execution layer on ordered blocks this party holds.
+    pub execute: bool,
+    /// Garbage-collect DAG/RBC state this many rounds behind the commit
+    /// frontier (`None` = never).
+    pub gc_depth: Option<u64>,
+}
+
+impl NodeConfig {
+    /// A configuration with evaluation-friendly defaults; callers adjust
+    /// the workload and fault knobs.
+    pub fn new(me: PartyId, topology: Arc<ClanTopology>) -> NodeConfig {
+        let tribe = topology.tribe();
+        NodeConfig {
+            me,
+            tribe,
+            topology,
+            schedule_seed: 0,
+            cost: CostModel::default(),
+            timeout: Micros::from_millis(2_000),
+            max_round: None,
+            txs_per_proposal: 0,
+            tx_bytes: 512,
+            is_block_proposer: true,
+            verify_sigs: true,
+            execute: false,
+            gc_depth: Some(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let topo = Arc::new(ClanTopology::whole_tribe(TribeParams::new(4)));
+        let cfg = NodeConfig::new(PartyId(2), topo);
+        assert_eq!(cfg.me, PartyId(2));
+        assert_eq!(cfg.tribe.n(), 4);
+        assert!(cfg.verify_sigs);
+        assert!(cfg.timeout > Micros::from_millis(500));
+    }
+}

@@ -1,0 +1,184 @@
+//! The clan-side execution layer.
+//!
+//! After global ordering, only the clan holding a block executes it and
+//! answers the client; a client trusts a result once `f_c + 1` clan members
+//! report the same state root (paper §1's execution argument, after Yin et
+//! al.'s separation of agreement and execution). Execution here is a
+//! deterministic fold of every transaction into a running state root —
+//! enough to detect any divergence in ordering or block content across
+//! replicas, which is exactly what the tests assert.
+//!
+//! The paper's evaluation excludes execution cost from its measurements;
+//! benches disable this module, functional tests and examples enable it.
+
+use clanbft_crypto::{Digest, Hasher};
+use clanbft_types::{Block, Micros, VertexRef};
+
+/// One executed block's receipt — what a clan member reports to clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionReceipt {
+    /// Position in the total order.
+    pub sequence: u64,
+    /// The ordered vertex whose block was executed.
+    pub vertex: VertexRef,
+    /// Transactions executed in this block.
+    pub tx_count: u64,
+    /// State root after applying the block.
+    pub state_root: Digest,
+    /// Execution completion time.
+    pub executed_at: Micros,
+}
+
+/// A deterministic block executor with a hash-chained state root.
+pub struct Executor {
+    state_root: Digest,
+    sequence: u64,
+    executed_txs: u64,
+    receipts: Vec<ExecutionReceipt>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// A fresh executor at the genesis state.
+    pub fn new() -> Executor {
+        Executor {
+            state_root: Hasher::new("clanbft/genesis-state").finalize(),
+            sequence: 0,
+            executed_txs: 0,
+            receipts: Vec::new(),
+        }
+    }
+
+    /// Applies a block in order, returning its receipt.
+    pub fn execute(&mut self, vertex: VertexRef, block: &Block, now: Micros) -> ExecutionReceipt {
+        let mut h = Hasher::new("clanbft/state-transition");
+        h.update(self.state_root.as_bytes());
+        h.update_u64(vertex.round.0);
+        h.update_u64(vertex.source.0 as u64);
+        h.update(block.digest().as_bytes());
+        // Fold each transaction id (payload bytes are already bound through
+        // the block digest).
+        for batch in &block.batches {
+            h.update_u64(batch.creator.0 as u64);
+            h.update_u64(batch.first_seq);
+            h.update_u64(batch.count as u64);
+        }
+        self.state_root = h.finalize();
+        self.executed_txs += block.tx_count();
+        let receipt = ExecutionReceipt {
+            sequence: self.sequence,
+            vertex,
+            tx_count: block.tx_count(),
+            state_root: self.state_root,
+            executed_at: now,
+        };
+        self.sequence += 1;
+        self.receipts.push(receipt.clone());
+        receipt
+    }
+
+    /// Current state root.
+    pub fn state_root(&self) -> Digest {
+        self.state_root
+    }
+
+    /// Total transactions executed.
+    pub fn executed_txs(&self) -> u64 {
+        self.executed_txs
+    }
+
+    /// All receipts so far, in sequence order.
+    pub fn receipts(&self) -> &[ExecutionReceipt] {
+        &self.receipts
+    }
+}
+
+/// Client-side check: accept a result once `clan_quorum` identical reports
+/// arrive for the same sequence number.
+///
+/// Returns the agreed state root, or `None` if no root reaches the quorum.
+pub fn client_accepts(reports: &[(usize, Digest)], clan_quorum: usize) -> Option<Digest> {
+    let mut counts: std::collections::HashMap<Digest, std::collections::HashSet<usize>> =
+        std::collections::HashMap::new();
+    for (member, root) in reports {
+        counts.entry(*root).or_default().insert(*member);
+    }
+    counts
+        .into_iter()
+        .find(|(_, members)| members.len() >= clan_quorum)
+        .map(|(root, _)| root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clanbft_types::{PartyId, Round, TxBatch};
+
+    fn block(seq: u64, count: u32) -> Block {
+        Block::new(
+            PartyId(1),
+            Round(seq),
+            vec![TxBatch::synthetic(PartyId(1), seq * 1000, count, 512, Micros(seq))],
+        )
+    }
+
+    fn vref(round: u64, source: u32) -> VertexRef {
+        VertexRef { round: Round(round), source: PartyId(source) }
+    }
+
+    #[test]
+    fn identical_sequences_produce_identical_roots() {
+        let mut a = Executor::new();
+        let mut b = Executor::new();
+        for i in 0..5 {
+            a.execute(vref(i, 1), &block(i, 100), Micros(i));
+            b.execute(vref(i, 1), &block(i, 100), Micros(i + 7000));
+        }
+        assert_eq!(a.state_root(), b.state_root(), "time does not affect state");
+        assert_eq!(a.executed_txs(), 500);
+        assert_eq!(a.receipts().len(), 5);
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Executor::new();
+        let mut b = Executor::new();
+        a.execute(vref(0, 1), &block(0, 10), Micros(0));
+        a.execute(vref(1, 1), &block(1, 10), Micros(0));
+        b.execute(vref(1, 1), &block(1, 10), Micros(0));
+        b.execute(vref(0, 1), &block(0, 10), Micros(0));
+        assert_ne!(a.state_root(), b.state_root(), "swapped order must diverge");
+    }
+
+    #[test]
+    fn content_matters() {
+        let mut a = Executor::new();
+        let mut b = Executor::new();
+        a.execute(vref(0, 1), &block(0, 10), Micros(0));
+        b.execute(vref(0, 1), &block(0, 11), Micros(0));
+        assert_ne!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn client_quorum_logic() {
+        let root_good = Digest::of(b"good");
+        let root_bad = Digest::of(b"bad");
+        // Clan of 5, quorum 3: three consistent + two lying members.
+        let reports = vec![
+            (0, root_good),
+            (1, root_bad),
+            (2, root_good),
+            (3, root_bad),
+            (4, root_good),
+        ];
+        assert_eq!(client_accepts(&reports, 3), Some(root_good));
+        // Duplicate reports from one member do not help reach quorum.
+        let stuffed = vec![(0, root_bad), (0, root_bad), (0, root_bad), (1, root_good)];
+        assert_eq!(client_accepts(&stuffed, 3), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Consensus-level messages: the RBC envelope plus leader votes and
+//! timeout/no-vote announcements.
+
+use crate::payload::MergedPayload;
+use clanbft_crypto::{Digest, Hasher, Signature};
+use clanbft_rbc::RbcPacket;
+use clanbft_simnet::protocol::Message;
+use clanbft_types::Round;
+
+/// The statement a leader vote signs.
+pub fn vote_digest(round: Round, vertex_id: &Digest) -> Digest {
+    Hasher::new("clanbft/leader-vote")
+        .chain_u64(round.0)
+        .chain(vertex_id.as_bytes())
+        .finalize()
+}
+
+/// All messages exchanged by [`crate::node::SailfishNode`].
+#[derive(Clone, Debug)]
+pub enum ConsensusMsg {
+    /// Broadcast-layer traffic (vertices, blocks, echoes, certificates,
+    /// pulls).
+    Rbc(RbcPacket<MergedPayload>),
+    /// Leader vote: sent upon RBC-delivering the round leader's vertex
+    /// (Sailfish's extra δ that yields the 3δ commit).
+    Vote {
+        /// Voted round.
+        round: Round,
+        /// Id of the leader vertex voted for.
+        vertex_id: Digest,
+        /// Signature over [`vote_digest`].
+        sig: Signature,
+    },
+    /// Timeout announcement: the sender waited out round `round` without
+    /// the leader vertex. Carries signatures for both the timeout statement
+    /// (aggregated into the TC non-leaders attach) and the no-vote
+    /// statement (aggregated into the NVC the next leader attaches).
+    Timeout {
+        /// The round timed out on.
+        round: Round,
+        /// Signature over [`clanbft_types::certs::timeout_digest`].
+        timeout_sig: Signature,
+        /// Signature over [`clanbft_types::certs::no_vote_digest`].
+        no_vote_sig: Signature,
+    },
+}
+
+impl Message for ConsensusMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ConsensusMsg::Rbc(pkt) => pkt.wire_bytes(),
+            // round + vertex id + signature (BLS-sized in the paper's
+            // implementation; 64 bytes here).
+            ConsensusMsg::Vote { .. } => 8 + 32 + 64,
+            ConsensusMsg::Timeout { .. } => 8 + 64 + 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_digest_binds_round_and_vertex() {
+        let v1 = Digest::of(b"vertex-1");
+        let v2 = Digest::of(b"vertex-2");
+        assert_ne!(vote_digest(Round(1), &v1), vote_digest(Round(2), &v1));
+        assert_ne!(vote_digest(Round(1), &v1), vote_digest(Round(1), &v2));
+        assert_eq!(vote_digest(Round(1), &v1), vote_digest(Round(1), &v1));
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let sig = Signature([0u8; 64]);
+        let vote = ConsensusMsg::Vote { round: Round(1), vertex_id: Digest::ZERO, sig };
+        let timeout = ConsensusMsg::Timeout { round: Round(1), timeout_sig: sig, no_vote_sig: sig };
+        assert!(vote.wire_bytes() < 128);
+        assert!(timeout.wire_bytes() < 160);
+    }
+}

@@ -1,0 +1,768 @@
+//! The Sailfish node: one state machine for all three evaluated protocols.
+//!
+//! Lifecycle of a round `r` at an honest node:
+//!
+//! 1. On entering `r`, propose: build the block (workload batches, or empty
+//!    for non-proposers), build the vertex (strong edges to every live
+//!    round-`r−1` vertex, weak edges to late arrivals, TC/NVC if the
+//!    previous leader vertex is missing), and broadcast both through the
+//!    merged tribe-assisted RBC. Arm the round timer.
+//! 2. On RBC certification/delivery of a vertex: validate its shape and
+//!    leader-edge rule, insert it into the DAG (buffering until causal
+//!    completeness), and if it is the round leader's vertex, multicast a
+//!    leader vote (unless this node already announced a timeout).
+//! 3. `2f+1` votes commit the leader vertex directly; the leader chain is
+//!    resolved backward through strong paths and the causal history is
+//!    emitted in deterministic order (`a_deliver`).
+//! 4. Advance to `r+1` once `2f+1` round-`r` vertices are live including
+//!    the leader's — or a timeout certificate replaces it.
+//!
+//! Block payloads trail metadata by design: ordering and progress never
+//! wait for block downloads (paper §5); execution does.
+
+use crate::config::NodeConfig;
+use crate::execution::Executor;
+use crate::messages::{vote_digest, ConsensusMsg};
+use crate::payload::MergedPayload;
+use crate::schedule::LeaderSchedule;
+use crate::trackers::{TimeoutTracker, VoteTracker};
+use clanbft_crypto::{Authenticator, Digest};
+use clanbft_dag::{order, Dag, InsertOutcome};
+use clanbft_rbc::{Effects, EngineConfig, RbcEvent, TribePayload, TribeRbc2};
+use clanbft_simnet::protocol::{Ctx, Protocol};
+use clanbft_types::certs::{no_vote_digest, timeout_digest, NoVoteCert, TimeoutCert};
+use clanbft_types::{Block, Encode, Micros, PartyId, Round, TxBatch, Vertex, VertexRef};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// One entry of the emitted total order (`a_deliver`).
+#[derive(Clone, Debug)]
+pub struct CommittedVertex {
+    /// Position in the total order.
+    pub sequence: u64,
+    /// The ordered vertex.
+    pub vertex: VertexRef,
+    /// Digest of its block.
+    pub block_digest: Digest,
+    /// Declared block size on the wire.
+    pub block_bytes: u64,
+    /// Transactions in the block.
+    pub block_tx_count: u64,
+    /// When this node committed it.
+    pub committed_at: Micros,
+}
+
+/// Batch metadata remembered at proposal time, for latency metrics.
+#[derive(Clone, Debug)]
+pub struct ProposedBatch {
+    /// The proposing vertex.
+    pub vertex: VertexRef,
+    /// Creation timestamp of the batch.
+    pub created_at: Micros,
+    /// Transactions in the batch.
+    pub count: u32,
+}
+
+/// The Sailfish / single-clan / multi-clan node.
+pub struct SailfishNode {
+    cfg: NodeConfig,
+    schedule: LeaderSchedule,
+    auth: Arc<Authenticator>,
+    rbc: TribeRbc2<MergedPayload>,
+    dag: Dag,
+    votes: VoteTracker,
+    timeouts: TimeoutTracker,
+
+    current_round: Round,
+    stopped_proposing: bool,
+    /// Rounds this node voted in (leader vertex delivered in time).
+    voted: HashSet<Round>,
+    /// Rounds this node announced a timeout for (mutually exclusive with
+    /// voting — the quorum-intersection hinge of commit safety).
+    no_voted: HashSet<Round>,
+    /// Certificates assembled from 2f+1 timeout announcements.
+    certs_formed: HashMap<Round, (TimeoutCert, NoVoteCert)>,
+
+    /// Vertices validated and accepted (pre- or post-DAG-liveness), with
+    /// their content ids cached (vertex hashing is hot at scale).
+    accepted: HashMap<VertexRef, (Arc<Vertex>, Digest)>,
+    /// Full blocks held (clan member for the proposer, or own proposals).
+    blocks: HashMap<VertexRef, Arc<Block>>,
+    /// Live vertices that arrived after their round passed — weak-edge
+    /// candidates for the next proposal.
+    late_arrivals: BTreeSet<VertexRef>,
+
+    last_committed: Option<Round>,
+    /// The emitted total order.
+    pub committed_log: Vec<CommittedVertex>,
+    /// Proposal-time batch metadata (for the metrics layer).
+    pub proposed_batches: Vec<ProposedBatch>,
+
+    /// Execution layer (when enabled): ordered vertices awaiting their
+    /// block, and the executor folding them into the state root.
+    exec_queue: VecDeque<VertexRef>,
+    /// The executor, if execution is enabled.
+    pub executor: Option<Executor>,
+
+    next_seq: u64,
+    last_proposal_at: Micros,
+}
+
+impl SailfishNode {
+    /// Builds a node from its configuration and signing identity.
+    pub fn new(cfg: NodeConfig, auth: Arc<Authenticator>) -> SailfishNode {
+        let engine_cfg = EngineConfig::new(cfg.me, Arc::clone(&cfg.topology), cfg.cost);
+        let rbc = TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
+        SailfishNode {
+            schedule: LeaderSchedule::new(cfg.tribe.n(), cfg.schedule_seed),
+            dag: Dag::new(cfg.tribe),
+            votes: VoteTracker::new(cfg.tribe.n()),
+            timeouts: TimeoutTracker::new(cfg.tribe.n()),
+            rbc,
+            auth,
+            current_round: Round::GENESIS,
+            stopped_proposing: false,
+            voted: HashSet::new(),
+            no_voted: HashSet::new(),
+            certs_formed: HashMap::new(),
+            accepted: HashMap::new(),
+            blocks: HashMap::new(),
+            late_arrivals: BTreeSet::new(),
+            last_committed: None,
+            committed_log: Vec::new(),
+            proposed_batches: Vec::new(),
+            exec_queue: VecDeque::new(),
+            executor: if cfg.execute { Some(Executor::new()) } else { None },
+            next_seq: 0,
+            last_proposal_at: Micros::ZERO,
+            cfg,
+        }
+    }
+
+    /// Current round.
+    pub fn round(&self) -> Round {
+        self.current_round
+    }
+
+    /// Highest directly committed leader round.
+    pub fn last_committed(&self) -> Option<Round> {
+        self.last_committed
+    }
+
+    /// The leader schedule (shared by the whole tribe).
+    pub fn schedule(&self) -> LeaderSchedule {
+        self.schedule
+    }
+
+    /// Total transactions in this node's committed log.
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_log.iter().map(|c| c.block_tx_count).sum()
+    }
+
+    // --- proposing ---------------------------------------------------------
+
+    fn build_block(&mut self, round: Round, now: Micros) -> Block {
+        let t = self.cfg.txs_per_proposal;
+        if !self.cfg.is_block_proposer || t == 0 || self.stopped_proposing {
+            return Block::empty(self.cfg.me, round);
+        }
+        // Model continuous client arrival: the batch is split into four
+        // sub-batches created evenly across the inter-proposal gap, so the
+        // measured latency includes the queueing delay real clients see.
+        let gap = now.saturating_sub(self.last_proposal_at);
+        let mut batches = Vec::new();
+        let quarters = 4u32;
+        let base = t / quarters;
+        let rem = t % quarters;
+        for q in 0..quarters {
+            let count = base + u32::from(q < rem);
+            if count == 0 {
+                continue;
+            }
+            // Midpoint of the q-th quarter of the inter-proposal gap, so
+            // the mean queueing delay is gap/2 as for uniform arrival.
+            let age = gap.0 * (2 * (quarters - q) as u64 - 1) / (2 * quarters as u64);
+            let created_at = now.saturating_sub(Micros(age));
+            batches.push(TxBatch::synthetic(
+                self.cfg.me,
+                self.next_seq,
+                count,
+                self.cfg.tx_bytes,
+                created_at,
+            ));
+            self.next_seq += count as u64;
+        }
+        Block::new(self.cfg.me, round, batches)
+    }
+
+    fn propose(&mut self, round: Round, fx: &mut Effects<MergedPayload>, now: Micros) {
+        if let Some(max) = self.cfg.max_round {
+            if round.0 > max {
+                self.stopped_proposing = true;
+                return;
+            }
+        }
+        let block = self.build_block(round, now);
+        let mut strong_edges: Vec<VertexRef> = Vec::new();
+        let mut weak_edges: Vec<VertexRef> = Vec::new();
+        let mut nvc = None;
+        let mut tc = None;
+        if let Some(prev) = round.prev() {
+            strong_edges = self
+                .dag
+                .round_vertices(prev)
+                .iter()
+                .map(|v| v.reference())
+                .collect();
+            debug_assert!(strong_edges.len() >= self.cfg.tribe.quorum());
+            let leader_ref = self.schedule.leader_vertex(prev);
+            if !strong_edges.contains(&leader_ref) {
+                let (tcert, nvcert) = self
+                    .certs_formed
+                    .get(&prev)
+                    .cloned()
+                    .expect("advanced without leader vertex implies certificates");
+                if self.schedule.is_leader(self.cfg.me, round) {
+                    nvc = Some(nvcert);
+                }
+                tc = Some(tcert);
+            }
+            // Weak edges: late arrivals strictly older than the previous
+            // round, capped at f per the vertex structure.
+            let cap = self.cfg.tribe.f();
+            let eligible: Vec<VertexRef> = self
+                .late_arrivals
+                .iter()
+                .filter(|r| r.round < prev)
+                .take(cap)
+                .copied()
+                .collect();
+            for r in &eligible {
+                self.late_arrivals.remove(r);
+            }
+            weak_edges = eligible;
+        }
+        let vertex = Vertex {
+            round,
+            source: self.cfg.me,
+            block_digest: block.digest(),
+            block_bytes: block.encoded_len() as u64,
+            block_tx_count: block.tx_count(),
+            strong_edges,
+            weak_edges,
+            nvc,
+            tc,
+        };
+        let vref = vertex.reference();
+        for batch in &block.batches {
+            self.proposed_batches.push(ProposedBatch {
+                vertex: vref,
+                created_at: batch.created_at,
+                count: batch.count,
+            });
+        }
+        let payload = MergedPayload::new(vertex, block);
+        // Keep our own block regardless of clan membership (we produced it).
+        self.blocks.insert(vref, Arc::clone(&payload.block));
+        self.rbc.broadcast(round, payload, fx);
+        self.last_proposal_at = now;
+    }
+
+    // --- vertex intake ------------------------------------------------------
+
+    /// Validates and accepts a delivered vertex; idempotent.
+    fn process_vertex(&mut self, vertex: Arc<Vertex>, fx: &mut Effects<MergedPayload>, now: Micros, out: &mut Vec<ConsensusMsg>) {
+        let vref = vertex.reference();
+        if self.accepted.contains_key(&vref) || vref.round < self.dag.horizon() {
+            return;
+        }
+        if !self.validate_vertex(&vertex, fx) {
+            return;
+        }
+        fx.charge(self.cfg.cost.db_reads(vertex.strong_edges.len() + vertex.weak_edges.len()));
+        fx.charge(self.cfg.cost.db_write());
+        let id = vertex.id();
+        self.accepted.insert(vref, (Arc::clone(&vertex), id));
+
+        // Leader vote (Sailfish's 1δ commit step).
+        let round = vref.round;
+        if self.schedule.leader_vertex(round) == vref
+            && !self.voted.contains(&round)
+            && !self.no_voted.contains(&round)
+        {
+            self.voted.insert(round);
+            fx.charge(self.cfg.cost.sign());
+            let sig = self.auth.sign_digest(&vote_digest(round, &id));
+            out.push(ConsensusMsg::Vote { round, vertex_id: id, sig });
+        }
+
+        match self.dag.insert((*vertex).clone()) {
+            InsertOutcome::Live(new_live) => {
+                for live_ref in new_live {
+                    if live_ref.round.next() < self.current_round {
+                        self.late_arrivals.insert(live_ref);
+                    }
+                    // A leader vertex becoming live may complete a pending
+                    // vote quorum.
+                    if self.schedule.leader_vertex(live_ref.round) == live_ref {
+                        self.try_commit(live_ref.round, now);
+                    }
+                }
+            }
+            InsertOutcome::Pending | InsertOutcome::Duplicate => {}
+        }
+    }
+
+    /// Structural and leader-edge validation (paper Fig. 4 rules).
+    fn validate_vertex(&mut self, vertex: &Vertex, fx: &mut Effects<MergedPayload>) -> bool {
+        if vertex.validate_shape(self.cfg.tribe.quorum()).is_err() {
+            return false;
+        }
+        let Some(prev) = vertex.round.prev() else {
+            return true;
+        };
+        let leader_ref = self.schedule.leader_vertex(prev);
+        if vertex.has_strong_edge_to(&leader_ref) {
+            return true;
+        }
+        // Missing leader edge needs justification: NVC for the next leader's
+        // vertex, TC for everyone else's.
+        let quorum = self.cfg.tribe.quorum();
+        if self.schedule.leader_vertex(vertex.round) == vertex.reference() {
+            let Some(nvc) = &vertex.nvc else { return false };
+            fx.charge(self.cfg.cost.agg_verify(nvc.agg.count()));
+            if nvc.round != prev {
+                return false;
+            }
+            if self.cfg.verify_sigs && !nvc.verify(self.auth.registry(), quorum) {
+                return false;
+            }
+            if !self.cfg.verify_sigs && nvc.agg.count() < quorum {
+                return false;
+            }
+        } else {
+            let Some(tc) = &vertex.tc else { return false };
+            fx.charge(self.cfg.cost.agg_verify(tc.agg.count()));
+            if tc.round != prev {
+                return false;
+            }
+            if self.cfg.verify_sigs && !tc.verify(self.auth.registry(), quorum) {
+                return false;
+            }
+            if !self.cfg.verify_sigs && tc.agg.count() < quorum {
+                return false;
+            }
+        }
+        true
+    }
+
+    // --- commit and ordering -----------------------------------------------
+
+    fn try_commit(&mut self, round: Round, now: Micros) {
+        if self.last_committed.is_some_and(|lc| round <= lc) {
+            return;
+        }
+        let leader_ref = self.schedule.leader_vertex(round);
+        if self.dag.get(&leader_ref).is_none() {
+            return;
+        }
+        let Some((_, id)) = self.accepted.get(&leader_ref) else {
+            return;
+        };
+        if self.votes.count(round, id) < self.cfg.tribe.quorum() {
+            return;
+        }
+        // Direct commit: resolve the indirect chain and emit the order.
+        let schedule = self.schedule;
+        let chain = order::commit_chain(&self.dag, self.last_committed, leader_ref, |r| {
+            schedule.leader(r)
+        });
+        let ordered = order::causal_order(&mut self.dag, &chain);
+        for vref in ordered {
+            let Some(v) = self.dag.get(&vref) else { continue };
+            self.committed_log.push(CommittedVertex {
+                sequence: self.next_commit_seq(),
+                vertex: vref,
+                block_digest: v.block_digest,
+                block_bytes: v.block_bytes,
+                block_tx_count: v.block_tx_count,
+                committed_at: now,
+            });
+            if self.executor.is_some()
+                && self.cfg.topology.receives_full(self.cfg.me, vref.source)
+            {
+                self.exec_queue.push_back(vref);
+            }
+        }
+        self.last_committed = Some(round);
+        self.try_execute(now);
+        self.garbage_collect();
+    }
+
+    fn next_commit_seq(&self) -> u64 {
+        self.committed_log.len() as u64
+    }
+
+    fn try_execute(&mut self, now: Micros) {
+        let Some(executor) = self.executor.as_mut() else { return };
+        while let Some(front) = self.exec_queue.front().copied() {
+            let Some(block) = self.blocks.get(&front) else {
+                break; // Block still downloading; execution lags consensus.
+            };
+            executor.execute(front, block, now);
+            self.exec_queue.pop_front();
+        }
+    }
+
+    fn garbage_collect(&mut self) {
+        let Some(depth) = self.cfg.gc_depth else { return };
+        let Some(lc) = self.last_committed else { return };
+        if lc.0 <= depth {
+            return;
+        }
+        let horizon = Round(lc.0 - depth);
+        // Never collect blocks still queued for execution.
+        let exec_floor = self.exec_queue.front().map(|r| r.round).unwrap_or(horizon);
+        let horizon = horizon.min(exec_floor);
+        self.dag.prune_below(horizon);
+        self.rbc.prune_below(horizon);
+        self.votes.prune_below(horizon);
+        self.timeouts.prune_below(horizon);
+        self.accepted.retain(|r, _| r.round >= horizon);
+        self.blocks.retain(|r, _| r.round >= horizon);
+        self.late_arrivals.retain(|r| r.round >= horizon);
+        self.certs_formed.retain(|r, _| *r >= horizon);
+    }
+
+    // --- round advancement ---------------------------------------------------
+
+    fn try_advance(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
+        loop {
+            let r = self.current_round;
+            if self.dag.round_count(r) < self.cfg.tribe.quorum() {
+                return;
+            }
+            let leader_live = self.dag.get(&self.schedule.leader_vertex(r)).is_some();
+            if !leader_live && !self.certs_formed.contains_key(&r) {
+                return;
+            }
+            let next = r.next();
+            self.current_round = next;
+            let mut fx = Effects::new();
+            self.propose(next, &mut fx, ctx.now());
+            self.flush(fx, ctx);
+            ctx.set_timer(self.cfg.timeout, next.0);
+        }
+    }
+
+    // --- effects plumbing -----------------------------------------------------
+
+    /// Applies RBC effects: charges, consensus events, and outgoing packets.
+    fn flush(&mut self, fx: Effects<MergedPayload>, ctx: &mut Ctx<ConsensusMsg>) {
+        let mut queue = vec![fx];
+        while let Some(fx) = queue.pop() {
+            ctx.charge(fx.charge);
+            let mut extra_msgs = Vec::new();
+            for ev in fx.events {
+                let mut nested = Effects::new();
+                match ev {
+                    RbcEvent::Certified { source, round, digest } => {
+                        // Act as soon as the vertex is certified, even if
+                        // the block is still in flight (paper §5).
+                        if let Some(meta) = self.rbc.meta_of(round, source) {
+                            if MergedPayload::meta_digest(&meta) == digest {
+                                self.process_vertex(meta, &mut nested, ctx.now(), &mut extra_msgs);
+                            }
+                        }
+                    }
+                    RbcEvent::DeliverFull { source, round, payload } => {
+                        let vref = VertexRef { round, source };
+                        self.blocks.insert(vref, Arc::clone(&payload.block));
+                        self.process_vertex(
+                            Arc::clone(&payload.vertex),
+                            &mut nested,
+                            ctx.now(),
+                            &mut extra_msgs,
+                        );
+                        self.try_execute(ctx.now());
+                    }
+                    RbcEvent::DeliverMeta { source: _, round: _, meta } => {
+                        self.process_vertex(meta, &mut nested, ctx.now(), &mut extra_msgs);
+                    }
+                    RbcEvent::EchoQuorum { .. } => {}
+                }
+                if !nested.out.is_empty()
+                    || !nested.events.is_empty()
+                    || nested.charge > Micros::ZERO
+                {
+                    queue.push(nested);
+                }
+            }
+            for (to, pkt) in fx.out {
+                ctx.send(to, ConsensusMsg::Rbc(pkt));
+            }
+            for msg in extra_msgs {
+                // Votes go to everyone, ourselves included (loopback).
+                ctx.multicast(self.cfg.tribe.parties(), msg);
+            }
+        }
+        self.try_advance(ctx);
+    }
+
+    fn on_vote(&mut self, from: PartyId, round: Round, vertex_id: Digest, sig: clanbft_crypto::Signature, ctx: &mut Ctx<ConsensusMsg>) {
+        ctx.charge(self.cfg.cost.aggregate(1));
+        if self.cfg.verify_sigs
+            && !self
+                .auth
+                .verify_digest(from.idx(), &vote_digest(round, &vertex_id), &sig)
+        {
+            return;
+        }
+        if let Some(count) = self.votes.record(round, vertex_id, from) {
+            if count >= self.cfg.tribe.quorum() {
+                self.try_commit(round, ctx.now());
+            }
+        }
+    }
+
+    fn on_timeout_msg(
+        &mut self,
+        from: PartyId,
+        round: Round,
+        timeout_sig: clanbft_crypto::Signature,
+        no_vote_sig: clanbft_crypto::Signature,
+        ctx: &mut Ctx<ConsensusMsg>,
+    ) {
+        ctx.charge(self.cfg.cost.aggregate(2));
+        if self.cfg.verify_sigs {
+            let ok = self
+                .auth
+                .verify_digest(from.idx(), &timeout_digest(round), &timeout_sig)
+                && self
+                    .auth
+                    .verify_digest(from.idx(), &no_vote_digest(round), &no_vote_sig);
+            if !ok {
+                return;
+            }
+        }
+        let Some(count) = self.timeouts.record(round, from, timeout_sig, no_vote_sig) else {
+            return;
+        };
+        let quorum = self.cfg.tribe.quorum();
+        if count >= quorum && !self.certs_formed.contains_key(&round) {
+            let collected = self.timeouts.round(round).expect("just recorded");
+            ctx.charge(self.cfg.cost.aggregate(count) + self.cfg.cost.agg_verify(count));
+            let n = self.cfg.tribe.n();
+            let tc = TimeoutCert::new(round, n, &collected.timeout_sigs);
+            let nvc = NoVoteCert::new(round, n, &collected.no_vote_sigs);
+            self.certs_formed.insert(round, (tc, nvc));
+            self.try_advance(ctx);
+        }
+    }
+}
+
+impl Protocol<ConsensusMsg> for SailfishNode {
+    fn on_start(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
+        let mut fx = Effects::new();
+        self.propose(Round::GENESIS, &mut fx, ctx.now());
+        self.flush(fx, ctx);
+        ctx.set_timer(self.cfg.timeout, 0);
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: ConsensusMsg, ctx: &mut Ctx<ConsensusMsg>) {
+        match msg {
+            ConsensusMsg::Rbc(pkt) => {
+                let mut fx = Effects::new();
+                self.rbc.handle(from, pkt, &mut fx);
+                self.flush(fx, ctx);
+            }
+            ConsensusMsg::Vote { round, vertex_id, sig } => {
+                self.on_vote(from, round, vertex_id, sig, ctx);
+            }
+            ConsensusMsg::Timeout { round, timeout_sig, no_vote_sig } => {
+                self.on_timeout_msg(from, round, timeout_sig, no_vote_sig, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<ConsensusMsg>) {
+        let round = Round(token);
+        if round != self.current_round {
+            return; // Stale timer; the round already advanced.
+        }
+        let leader_delivered = self
+            .accepted
+            .contains_key(&self.schedule.leader_vertex(round));
+        if leader_delivered || self.voted.contains(&round) || self.no_voted.contains(&round) {
+            return;
+        }
+        // Announce the timeout: sign both the TC statement (round
+        // advancement) and the NVC statement (the next leader's license to
+        // skip the edge). Having announced, this node must never vote for
+        // this round's leader vertex.
+        self.no_voted.insert(round);
+        ctx.charge(self.cfg.cost.sign() * 2);
+        let timeout_sig = self.auth.sign_digest(&timeout_digest(round));
+        let no_vote_sig = self.auth.sign_digest(&no_vote_digest(round));
+        ctx.multicast(
+            self.cfg.tribe.parties(),
+            ConsensusMsg::Timeout { round, timeout_sig, no_vote_sig },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clanbft_crypto::{Registry, Scheme};
+    use clanbft_rbc::ClanTopology;
+    use clanbft_types::TribeParams;
+
+    fn test_node(n: usize, txs: u32) -> (SailfishNode, Vec<Arc<Authenticator>>) {
+        let tribe = TribeParams::new(n);
+        let topology = Arc::new(ClanTopology::whole_tribe(tribe));
+        let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 77);
+        let auths: Vec<Arc<Authenticator>> = keypairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, kp)| Arc::new(Authenticator::new(i, kp, Arc::clone(&registry))))
+            .collect();
+        let mut cfg = NodeConfig::new(PartyId(0), topology);
+        cfg.txs_per_proposal = txs;
+        let node = SailfishNode::new(cfg, Arc::clone(&auths[0]));
+        (node, auths)
+    }
+
+    fn bare_vertex(round: u64, source: u32, strong: Vec<VertexRef>) -> Vertex {
+        Vertex {
+            round: Round(round),
+            source: PartyId(source),
+            block_digest: Digest::of(&[round as u8, source as u8]),
+            block_bytes: 0,
+            block_tx_count: 0,
+            strong_edges: strong,
+            weak_edges: vec![],
+            nvc: None,
+            tc: None,
+        }
+    }
+
+    fn full_edges(round: u64, n: u32) -> Vec<VertexRef> {
+        (0..n)
+            .map(|s| VertexRef { round: Round(round), source: PartyId(s) })
+            .collect()
+    }
+
+    #[test]
+    fn vertex_without_leader_edge_needs_certificate() {
+        // n = 4, leader(0) = P0. A round-1 vertex whose strong edges skip
+        // the round-0 leader must carry a TC; without one it is rejected.
+        let (mut node, auths) = test_node(4, 0);
+        let mut fx = Effects::new();
+        // Leader edge present: accepted.
+        let ok = bare_vertex(1, 1, full_edges(0, 4));
+        assert!(node.validate_vertex(&ok, &mut fx));
+        // Leader edge missing (P0 excluded), no TC: rejected. Source P2 is
+        // not round 1's leader (P1), so the TC path applies.
+        let missing = bare_vertex(
+            1,
+            2,
+            vec![
+                VertexRef { round: Round(0), source: PartyId(1) },
+                VertexRef { round: Round(0), source: PartyId(2) },
+                VertexRef { round: Round(0), source: PartyId(3) },
+            ],
+        );
+        assert!(!node.validate_vertex(&missing, &mut fx));
+        // Same vertex with a valid TC for round 0: accepted.
+        let d = timeout_digest(Round(0));
+        let pairs: Vec<_> = (0..3).map(|i| (i, auths[i].sign_digest(&d))).collect();
+        let mut with_tc = missing.clone();
+        with_tc.tc = Some(TimeoutCert::new(Round(0), 4, &pairs));
+        assert!(node.validate_vertex(&with_tc, &mut fx));
+        // A TC for the wrong round: rejected.
+        let mut wrong_round = missing.clone();
+        let d5 = timeout_digest(Round(5));
+        let pairs5: Vec<_> = (0..3).map(|i| (i, auths[i].sign_digest(&d5))).collect();
+        wrong_round.tc = Some(TimeoutCert::new(Round(5), 4, &pairs5));
+        assert!(!node.validate_vertex(&wrong_round, &mut fx));
+        // An undersized TC: rejected.
+        let mut thin = missing.clone();
+        thin.tc = Some(TimeoutCert::new(Round(0), 4, &pairs[..2]));
+        assert!(!node.validate_vertex(&thin, &mut fx));
+    }
+
+    #[test]
+    fn leader_vertex_needs_nvc_not_tc() {
+        // n = 4: leader(1) = P1. P1's round-1 vertex without an edge to the
+        // round-0 leader vertex needs an NVC (a TC does not suffice).
+        let (mut node, auths) = test_node(4, 0);
+        let mut fx = Effects::new();
+        let edges = vec![
+            VertexRef { round: Round(0), source: PartyId(1) },
+            VertexRef { round: Round(0), source: PartyId(2) },
+            VertexRef { round: Round(0), source: PartyId(3) },
+        ];
+        let bare = bare_vertex(1, 1, edges.clone());
+        assert!(!node.validate_vertex(&bare, &mut fx), "no justification");
+        let td = timeout_digest(Round(0));
+        let tc_pairs: Vec<_> = (0..3).map(|i| (i, auths[i].sign_digest(&td))).collect();
+        let mut with_tc_only = bare.clone();
+        with_tc_only.tc = Some(TimeoutCert::new(Round(0), 4, &tc_pairs));
+        assert!(
+            !node.validate_vertex(&with_tc_only, &mut fx),
+            "a TC alone must not license the next leader"
+        );
+        let nd = no_vote_digest(Round(0));
+        let nvc_pairs: Vec<_> = (0..3).map(|i| (i, auths[i].sign_digest(&nd))).collect();
+        let mut with_nvc = bare.clone();
+        with_nvc.nvc = Some(NoVoteCert::new(Round(0), 4, &nvc_pairs));
+        assert!(node.validate_vertex(&with_nvc, &mut fx));
+    }
+
+    #[test]
+    fn malformed_shape_rejected() {
+        let (mut node, _) = test_node(4, 0);
+        let mut fx = Effects::new();
+        // Too few strong edges for quorum 3.
+        let thin = bare_vertex(1, 2, full_edges(0, 2));
+        assert!(!node.validate_vertex(&thin, &mut fx));
+    }
+
+    #[test]
+    fn build_block_spreads_creation_times() {
+        let (mut node, _) = test_node(4, 100);
+        node.last_proposal_at = Micros::ZERO;
+        let block = node.build_block(Round(1), Micros::from_secs(4));
+        assert_eq!(block.tx_count(), 100);
+        assert_eq!(block.batches.len(), 4, "four sub-batches per proposal");
+        let times: Vec<u64> = block.batches.iter().map(|b| b.created_at.0).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        assert_eq!(*times.last().unwrap(), 3_500_000, "newest batch half a quarter back");
+        assert_eq!(times[0], 500_000, "oldest batch near the previous proposal");
+        // Sequence numbers advance.
+        let block2 = node.build_block(Round(2), Micros::from_secs(8));
+        assert_eq!(block2.batches[0].first_seq, 100);
+    }
+
+    #[test]
+    fn non_proposer_builds_empty_blocks() {
+        let (mut node, _) = {
+            let tribe = TribeParams::new(4);
+            let topology = Arc::new(ClanTopology::whole_tribe(tribe));
+            let (registry, keypairs) = Registry::generate(Scheme::Keyed, 4, 7);
+            let auth = Arc::new(Authenticator::new(
+                0,
+                keypairs.into_iter().next().unwrap(),
+                registry,
+            ));
+            let mut cfg = NodeConfig::new(PartyId(0), topology);
+            cfg.txs_per_proposal = 500;
+            cfg.is_block_proposer = false;
+            (SailfishNode::new(cfg, auth), ())
+        };
+        let block = node.build_block(Round(1), Micros::from_secs(1));
+        assert_eq!(block.tx_count(), 0);
+        assert!(block.batches.is_empty());
+    }
+}

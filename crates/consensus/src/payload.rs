@@ -1,0 +1,128 @@
+//! The merged vertex+block payload (paper §5, "efficiently propagating the
+//! vertex and the block").
+//!
+//! Instead of running two RBC instances — standard RBC for the vertex and
+//! tribe-assisted RBC for the block — the pair travels as one
+//! [`TribePayload`]: clan members receive `(vertex, block)` and echo only
+//! after holding both; everyone else receives just the vertex (which embeds
+//! the block digest). The RBC digest is the vertex id, so certifying the
+//! vertex certifies the block binding too.
+
+use clanbft_crypto::Digest;
+use clanbft_rbc::TribePayload;
+use clanbft_types::{Block, Encode, Vertex};
+use std::sync::Arc;
+
+/// A vertex and its block, broadcast as a single merged RBC payload.
+#[derive(Clone, Debug)]
+pub struct MergedPayload {
+    /// The tribe-wide vertex.
+    pub vertex: Arc<Vertex>,
+    /// The clan-only block.
+    pub block: Arc<Block>,
+}
+
+impl MergedPayload {
+    /// Pairs a vertex with its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex does not reference this block (construction-time
+    /// misuse; received payloads go through [`TribePayload::validate`]).
+    pub fn new(vertex: Vertex, block: Block) -> MergedPayload {
+        assert_eq!(vertex.block_digest, block.digest(), "vertex must bind its block");
+        MergedPayload { vertex: Arc::new(vertex), block: Arc::new(block) }
+    }
+}
+
+impl TribePayload for MergedPayload {
+    type Meta = Arc<Vertex>;
+
+    fn rbc_digest(&self) -> Digest {
+        self.vertex.id()
+    }
+
+    fn meta(&self) -> Self::Meta {
+        Arc::clone(&self.vertex)
+    }
+
+    fn meta_digest(meta: &Self::Meta) -> Digest {
+        meta.id()
+    }
+
+    fn validate(&self) -> bool {
+        self.vertex.block_digest == self.block.digest()
+            && self.vertex.source == self.block.proposer
+            && self.vertex.round == self.block.round
+            && self.vertex.block_bytes == self.block.encoded_len() as u64
+            && self.vertex.block_tx_count == self.block.tx_count()
+    }
+
+    fn wire_bytes(&self) -> usize {
+        self.vertex.encoded_len() + self.block.encoded_len()
+    }
+
+    fn meta_wire_bytes(meta: &Self::Meta) -> usize {
+        meta.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clanbft_types::{Micros, PartyId, Round, TxBatch};
+
+    fn sample() -> MergedPayload {
+        let block = Block::new(
+            PartyId(1),
+            Round(3),
+            vec![TxBatch::synthetic(PartyId(1), 0, 100, 512, Micros(5))],
+        );
+        let vertex = Vertex {
+            round: Round(3),
+            source: PartyId(1),
+            block_digest: block.digest(),
+            block_bytes: block.encoded_len() as u64,
+            block_tx_count: block.tx_count(),
+            strong_edges: vec![],
+            weak_edges: vec![],
+            nvc: None,
+            tc: None,
+        };
+        MergedPayload::new(vertex, block)
+    }
+
+    #[test]
+    fn valid_payload_roundtrips_views() {
+        let p = sample();
+        assert!(p.validate());
+        let meta = p.meta();
+        assert_eq!(MergedPayload::meta_digest(&meta), p.rbc_digest());
+        // The meta view (vertex) is tiny next to the full payload.
+        assert!(MergedPayload::meta_wire_bytes(&meta) < 200);
+        assert!(p.wire_bytes() > 100 * 512);
+    }
+
+    #[test]
+    fn swapped_block_fails_validation() {
+        let p = sample();
+        let other_block = Block::new(
+            PartyId(1),
+            Round(3),
+            vec![TxBatch::synthetic(PartyId(1), 0, 99, 512, Micros(5))],
+        );
+        let forged = MergedPayload {
+            vertex: Arc::clone(&p.vertex),
+            block: Arc::new(other_block),
+        };
+        assert!(!forged.validate(), "block swap must be detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "bind its block")]
+    fn mismatched_construction_panics() {
+        let p = sample();
+        let bad_block = Block::empty(PartyId(1), Round(3));
+        MergedPayload::new((*p.vertex).clone(), bad_block);
+    }
+}

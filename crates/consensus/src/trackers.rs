@@ -1,0 +1,140 @@
+//! Quorum trackers for leader votes and timeout announcements.
+
+use clanbft_crypto::{Bitmap, Digest, Signature};
+use clanbft_types::{PartyId, Round};
+use std::collections::HashMap;
+
+/// Counts leader votes per `(round, vertex_id)`.
+pub struct VoteTracker {
+    n: usize,
+    votes: HashMap<(Round, Digest), Bitmap>,
+}
+
+impl VoteTracker {
+    /// A tracker over a tribe of `n` parties.
+    pub fn new(n: usize) -> VoteTracker {
+        VoteTracker { n, votes: HashMap::new() }
+    }
+
+    /// Records a vote; returns the new count, or `None` for a duplicate.
+    pub fn record(&mut self, round: Round, vertex_id: Digest, from: PartyId) -> Option<usize> {
+        let set = self
+            .votes
+            .entry((round, vertex_id))
+            .or_insert_with(|| Bitmap::new(self.n));
+        if !set.set(from.idx()) {
+            return None;
+        }
+        Some(set.count())
+    }
+
+    /// Current count for `(round, vertex_id)`.
+    pub fn count(&self, round: Round, vertex_id: &Digest) -> usize {
+        self.votes.get(&(round, *vertex_id)).map_or(0, Bitmap::count)
+    }
+
+    /// Drops rounds below `round`.
+    pub fn prune_below(&mut self, round: Round) {
+        self.votes.retain(|(r, _), _| *r >= round);
+    }
+}
+
+/// Collects timeout announcements per round, keeping both signature kinds
+/// for certificate assembly.
+pub struct TimeoutTracker {
+    n: usize,
+    per_round: HashMap<Round, TimeoutRound>,
+}
+
+/// Per-round collected timeout state.
+pub struct TimeoutRound {
+    /// Who has announced.
+    pub senders: Bitmap,
+    /// `(signer, timeout_sig)` pairs for the TC.
+    pub timeout_sigs: Vec<(usize, Signature)>,
+    /// `(signer, no_vote_sig)` pairs for the NVC.
+    pub no_vote_sigs: Vec<(usize, Signature)>,
+}
+
+impl TimeoutTracker {
+    /// A tracker over a tribe of `n` parties.
+    pub fn new(n: usize) -> TimeoutTracker {
+        TimeoutTracker { n, per_round: HashMap::new() }
+    }
+
+    /// Records an announcement; returns the new count, or `None` for a
+    /// duplicate.
+    pub fn record(
+        &mut self,
+        round: Round,
+        from: PartyId,
+        timeout_sig: Signature,
+        no_vote_sig: Signature,
+    ) -> Option<usize> {
+        let n = self.n;
+        let entry = self.per_round.entry(round).or_insert_with(|| TimeoutRound {
+            senders: Bitmap::new(n),
+            timeout_sigs: Vec::new(),
+            no_vote_sigs: Vec::new(),
+        });
+        if !entry.senders.set(from.idx()) {
+            return None;
+        }
+        entry.timeout_sigs.push((from.idx(), timeout_sig));
+        entry.no_vote_sigs.push((from.idx(), no_vote_sig));
+        Some(entry.senders.count())
+    }
+
+    /// The collected state for `round`, if any announcement arrived.
+    pub fn round(&self, round: Round) -> Option<&TimeoutRound> {
+        self.per_round.get(&round)
+    }
+
+    /// Drops rounds below `round`.
+    pub fn prune_below(&mut self, round: Round) {
+        self.per_round.retain(|r, _| *r >= round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn votes_count_and_dedup() {
+        let mut t = VoteTracker::new(4);
+        let d = Digest::of(b"leader vertex");
+        assert_eq!(t.record(Round(1), d, PartyId(0)), Some(1));
+        assert_eq!(t.record(Round(1), d, PartyId(1)), Some(2));
+        assert_eq!(t.record(Round(1), d, PartyId(1)), None, "duplicate");
+        assert_eq!(t.count(Round(1), &d), 2);
+        // Votes for a different digest are tracked separately.
+        let d2 = Digest::of(b"other");
+        assert_eq!(t.record(Round(1), d2, PartyId(2)), Some(1));
+        assert_eq!(t.count(Round(1), &d), 2);
+    }
+
+    #[test]
+    fn vote_prune() {
+        let mut t = VoteTracker::new(4);
+        let d = Digest::ZERO;
+        t.record(Round(1), d, PartyId(0));
+        t.record(Round(5), d, PartyId(0));
+        t.prune_below(Round(3));
+        assert_eq!(t.count(Round(1), &d), 0);
+        assert_eq!(t.count(Round(5), &d), 1);
+    }
+
+    #[test]
+    fn timeouts_collect_both_signature_kinds() {
+        let mut t = TimeoutTracker::new(4);
+        let s = Signature([1u8; 64]);
+        assert_eq!(t.record(Round(2), PartyId(3), s, s), Some(1));
+        assert_eq!(t.record(Round(2), PartyId(3), s, s), None);
+        assert_eq!(t.record(Round(2), PartyId(0), s, s), Some(2));
+        let r = t.round(Round(2)).unwrap();
+        assert_eq!(r.timeout_sigs.len(), 2);
+        assert_eq!(r.no_vote_sigs.len(), 2);
+        assert!(t.round(Round(9)).is_none());
+    }
+}

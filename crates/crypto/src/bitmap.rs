@@ -1,0 +1,157 @@
+//! A compact fixed-capacity bitset used to index signers in certificates
+//! and to deduplicate per-party protocol messages (ECHO/READY/VOTE senders).
+
+/// A fixed-capacity bitset over party indices `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Bitmap {
+        Bitmap { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity this bitmap was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets bit `i`; returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Counts set bits whose index satisfies `pred`.
+    pub fn count_matching(&self, pred: impl Fn(usize) -> bool) -> usize {
+        self.iter().filter(|&i| pred(i)).count()
+    }
+
+    /// In-place union with another bitmap of the same capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Serialized byte length (used by the wire-size model: BLS-style
+    /// certificates carry one bit per potential signer).
+    pub fn wire_bytes(&self) -> usize {
+        self.capacity.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(130);
+        assert!(b.is_empty());
+        assert!(b.set(0));
+        assert!(b.set(64));
+        assert!(b.set(129));
+        assert!(!b.set(129), "second set reports not-fresh");
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut b = Bitmap::new(200);
+        for i in [5usize, 63, 64, 65, 199, 0] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set(1);
+        b.set(99);
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.get(99));
+    }
+
+    #[test]
+    fn count_matching() {
+        let mut b = Bitmap::new(10);
+        for i in 0..10 {
+            b.set(i);
+        }
+        assert_eq!(b.count_matching(|i| i % 2 == 0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_panics() {
+        let mut b = Bitmap::new(64);
+        b.set(64);
+    }
+
+    #[test]
+    fn wire_bytes_rounds_up() {
+        assert_eq!(Bitmap::new(1).wire_bytes(), 1);
+        assert_eq!(Bitmap::new(8).wire_bytes(), 1);
+        assert_eq!(Bitmap::new(9).wire_bytes(), 2);
+        assert_eq!(Bitmap::new(150).wire_bytes(), 19);
+    }
+}

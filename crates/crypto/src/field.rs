@@ -1,0 +1,251 @@
+//! secp256k1 base-field arithmetic: integers modulo
+//! `p = 2^256 − 2^32 − 977`.
+//!
+//! The special form of `p` allows a fast "fold" reduction: for a 512-bit
+//! value `w = lo + hi·2^256`, we have `w ≡ lo + hi·C (mod p)` with
+//! `C = 2^32 + 977`, which fits in a single `u64`. Two or three folds bring
+//! any product below `2^256`, after which at most two conditional subtracts
+//! normalize into `[0, p)`.
+
+use crate::u256::{U256, U512};
+
+/// The field prime `p = 2^256 − 2^32 − 977`.
+pub const P: U256 = U256([
+    0xffff_fffe_ffff_fc2f,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+]);
+
+/// `C = 2^256 mod p = 2^32 + 977`.
+const C: u64 = 0x1_0000_03d1;
+
+/// An element of the secp256k1 base field, kept reduced in `[0, p)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fe(U256);
+
+impl Fe {
+    /// Zero.
+    pub const ZERO: Fe = Fe(U256([0; 4]));
+    /// One.
+    pub const ONE: Fe = Fe(U256([1, 0, 0, 0]));
+
+    /// Builds from a `U256`, reducing mod `p` if needed.
+    pub fn from_u256(v: U256) -> Fe {
+        let mut v = v;
+        while !v.lt(&P) {
+            v = v.sbb(&P).0;
+        }
+        Fe(v)
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Parses 32 big-endian bytes (reduced mod `p`).
+    pub fn from_be_bytes(b: &[u8; 32]) -> Fe {
+        Fe::from_u256(U256::from_be_bytes(b))
+    }
+
+    /// Parses a hex constant.
+    pub fn from_hex(s: &str) -> Fe {
+        Fe::from_u256(U256::from_hex(s))
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Exposes the inner integer.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// True iff this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True iff the canonical representative is even.
+    pub fn is_even(&self) -> bool {
+        self.0.is_even()
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        Fe(crate::u256::mod_add(&self.0, &other.0, &P))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        Fe(crate::u256::mod_sub(&self.0, &other.0, &P))
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        if self.is_zero() {
+            *self
+        } else {
+            Fe(P.sbb(&self.0).0)
+        }
+    }
+
+    /// Field multiplication with fast fold reduction.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        Fe(fold_reduce(self.0.mul_wide(&other.0)))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Doubling (`2·self`).
+    pub fn double(&self) -> Fe {
+        self.add(self)
+    }
+
+    /// Multiplication by a small constant.
+    pub fn mul_small(&self, k: u64) -> Fe {
+        Fe(fold_reduce(self.0.mul_wide(&U256::from_u64(k))))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero (zero has no inverse).
+    pub fn invert(&self) -> Fe {
+        assert!(!self.is_zero(), "inverse of zero");
+        // p − 2, exponent for Fermat inversion.
+        let exp = P.sbb(&U256::from_u64(2)).0;
+        let mut acc = Fe::ONE;
+        let top = exp.highest_bit().expect("p-2 is nonzero");
+        for i in (0..=top).rev() {
+            acc = acc.square();
+            if exp.bit(i) {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+}
+
+/// Reduces a 512-bit product modulo `p` using the `2^256 ≡ C` identity.
+fn fold_reduce(w: U512) -> U256 {
+    // First fold: lo + hi·C where hi < 2^256 → result < 2^290.
+    let (mut acc, mut acc_top) = fold_once(
+        U256([w.0[0], w.0[1], w.0[2], w.0[3]]),
+        U256([w.0[4], w.0[5], w.0[6], w.0[7]]),
+    );
+    // Keep folding the overflow limb until it vanishes (at most twice more).
+    while acc_top != 0 {
+        let (a, t) = fold_once(acc, U256::from_u64(acc_top));
+        acc = a;
+        acc_top = t;
+    }
+    while !acc.lt(&P) {
+        acc = acc.sbb(&P).0;
+    }
+    acc
+}
+
+/// Computes `lo + hi·C`, returning the low 256 bits and the overflow limb.
+#[allow(clippy::needless_range_loop)] // carry chains read better indexed
+fn fold_once(lo: U256, hi: U256) -> (U256, u64) {
+    // hi·C: 4×1-limb multiply producing 5 limbs.
+    let mut prod = [0u64; 5];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let cur = (hi.0[i] as u128) * (C as u128) + carry;
+        prod[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    prod[4] = carry as u64;
+    // lo + prod.
+    let mut out = [0u64; 4];
+    let mut c = 0u128;
+    for i in 0..4 {
+        let cur = lo.0[i] as u128 + prod[i] as u128 + c;
+        out[i] = cur as u64;
+        c = cur >> 64;
+    }
+    let top = prod[4] as u128 + c;
+    (U256(out), top as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_constant_is_correct() {
+        let p = U256::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        );
+        assert_eq!(p, P);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Fe::from_hex("deadbeef00000000000000000000000000000000000000000000000012345678");
+        let b = Fe::from_hex("0000000000000000ffffffffffffffffffffffffffffffff0000000000000001");
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&a.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_generic_reduce() {
+        let a = Fe::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2e");
+        let b = Fe::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0011223344556677");
+        let fast = a.mul(&b);
+        let slow = a.to_u256().mul_wide(&b.to_u256()).reduce(&P);
+        assert_eq!(fast.to_u256(), slow);
+    }
+
+    #[test]
+    fn p_minus_one_squared() {
+        // (p−1)² ≡ 1 (mod p).
+        let pm1 = Fe::from_u256(P.sbb(&U256::ONE).0);
+        assert_eq!(pm1.square(), Fe::ONE);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        for hexv in [
+            "2",
+            "3",
+            "deadbeef",
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2e",
+            "8000000000000000000000000000000000000000000000000000000000000000",
+        ] {
+            let a = Fe::from_hex(hexv);
+            assert_eq!(a.mul(&a.invert()), Fe::ONE, "a={hexv}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn invert_zero_panics() {
+        let _ = Fe::ZERO.invert();
+    }
+
+    #[test]
+    fn mul_small_matches_mul() {
+        let a = Fe::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0011223344556677");
+        assert_eq!(a.mul_small(8), a.mul(&Fe::from_u64(8)));
+        assert_eq!(a.mul_small(0), Fe::ZERO);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = Fe::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        let b = Fe::from_hex("5555555555555555555555555555555555555555555555555555555555555555");
+        let c = Fe::from_hex("1111111111111111111111111111111111111111111111111111111111111111");
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+}

@@ -1,0 +1,258 @@
+//! secp256k1 group arithmetic in Jacobian coordinates.
+//!
+//! The curve is `y² = x³ + 7` over the base field. Points are stored as
+//! `(X, Y, Z)` with affine coordinates `(X/Z², Y/Z³)`; the point at infinity
+//! has `Z = 0`. Scalar multiplication is plain double-and-add — adequate for
+//! protocol simulation, *not* side-channel hardened.
+
+use crate::field::Fe;
+use crate::scalar::Scalar;
+
+/// A point on secp256k1 in Jacobian coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+/// The generator's affine x-coordinate.
+const GX: &str = "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+/// The generator's affine y-coordinate.
+const GY: &str = "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+
+impl Point {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Point {
+        Point { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+    }
+
+    /// The standard generator `G`.
+    pub fn generator() -> Point {
+        Point { x: Fe::from_hex(GX), y: Fe::from_hex(GY), z: Fe::ONE }
+    }
+
+    /// Builds a point from affine coordinates.
+    ///
+    /// Returns `None` if `(x, y)` does not satisfy the curve equation.
+    pub fn from_affine(x: Fe, y: Fe) -> Option<Point> {
+        let lhs = y.square();
+        let rhs = x.square().mul(&x).add(&Fe::from_u64(7));
+        if lhs == rhs {
+            Some(Point { x, y, z: Fe::ONE })
+        } else {
+            None
+        }
+    }
+
+    /// Parses the 64-byte uncompressed `x ‖ y` encoding.
+    pub fn from_bytes(b: &[u8; 64]) -> Option<Point> {
+        let x = Fe::from_be_bytes(b[..32].try_into().expect("32 bytes"));
+        let y = Fe::from_be_bytes(b[32..].try_into().expect("32 bytes"));
+        Point::from_affine(x, y)
+    }
+
+    /// True iff this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates; `None` for infinity.
+    pub fn to_affine(&self) -> Option<(Fe, Fe)> {
+        if self.is_infinity() {
+            return None;
+        }
+        let zinv = self.z.invert();
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Some((self.x.mul(&zinv2), self.y.mul(&zinv3)))
+    }
+
+    /// Serializes to the 64-byte uncompressed `x ‖ y` encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the point at infinity, which has no affine encoding.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let (x, y) = self.to_affine().expect("infinity has no affine encoding");
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&x.to_be_bytes());
+        out[32..].copy_from_slice(&y.to_be_bytes());
+        out
+    }
+
+    /// Point doubling (`2·self`).
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::infinity();
+        }
+        // Standard Jacobian doubling for a = 0 (dbl-2009-l).
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = self.x.add(&b).square().sub(&a).sub(&c).double();
+        let e = a.mul_small(3);
+        let f = e.square();
+        let x3 = f.sub(&d.double());
+        let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_small(8));
+        let z3 = self.y.mul(&self.z).double();
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        // Standard Jacobian addition (add-2007-bl).
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&other.z).mul(&z2z2);
+        let s2 = other.y.mul(&self.z).mul(&z1z1);
+        if u1 == u2 {
+            return if s1 == s2 { self.double() } else { Point::infinity() };
+        }
+        let h = u2.sub(&u1);
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Point {
+        Point { x: self.x, y: self.y.neg(), z: self.z }
+    }
+
+    /// Scalar multiplication `k·self` (double-and-add, MSB first).
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let top = match k.highest_bit() {
+            None => return Point::infinity(),
+            Some(t) => t,
+        };
+        let mut acc = Point::infinity();
+        for i in (0..=top).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Checks equality in the group (projective coordinates normalized).
+    pub fn eq_point(&self, other: &Point) -> bool {
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                // X1·Z2² == X2·Z1² and Y1·Z2³ == Y2·Z1³.
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x.mul(&z2z2) == other.x.mul(&z1z1)
+                    && self.y.mul(&z2z2).mul(&other.z) == other.y.mul(&z1z1).mul(&self.z)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::N;
+    use crate::u256::U256;
+
+    #[test]
+    fn generator_is_on_curve() {
+        let g = Point::generator();
+        let (x, y) = g.to_affine().expect("finite");
+        assert!(Point::from_affine(x, y).is_some());
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = Point::generator();
+        assert!(g.double().eq_point(&g.add(&g)));
+        let g3a = g.double().add(&g);
+        let g3b = g.add(&g.double());
+        assert!(g3a.eq_point(&g3b));
+    }
+
+    #[test]
+    fn group_order_annihilates_generator() {
+        let n = Scalar::from_u256(N.sbb(&U256::ONE).0); // n − 1
+        let g = Point::generator();
+        let nm1_g = g.mul(&n);
+        // (n−1)·G = −G, so adding G gives infinity.
+        assert!(nm1_g.add(&g).is_infinity());
+        assert!(nm1_g.eq_point(&g.neg()));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = Point::generator();
+        let a = Scalar::from_u64(123456789);
+        let b = Scalar::from_u64(987654321);
+        let lhs = g.mul(&a.add(&b));
+        let rhs = g.mul(&a).add(&g.mul(&b));
+        assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn scalar_mul_composes() {
+        let g = Point::generator();
+        let a = Scalar::from_hex("deadbeef12345678");
+        let b = Scalar::from_hex("cafebabe87654321");
+        let lhs = g.mul(&a).mul(&b);
+        let rhs = g.mul(&a.mul(&b));
+        assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn small_multiples_by_repeated_addition() {
+        let g = Point::generator();
+        let mut acc = Point::infinity();
+        for k in 1u64..=8 {
+            acc = acc.add(&g);
+            assert!(acc.eq_point(&g.mul(&Scalar::from_u64(k))), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let p = Point::generator().mul(&Scalar::from_u64(42));
+        let bytes = p.to_bytes();
+        let q = Point::from_bytes(&bytes).expect("valid point");
+        assert!(p.eq_point(&q));
+    }
+
+    #[test]
+    fn invalid_point_rejected() {
+        let mut bytes = Point::generator().to_bytes();
+        bytes[63] ^= 1;
+        assert!(Point::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn add_infinity_is_identity() {
+        let g = Point::generator();
+        assert!(g.add(&Point::infinity()).eq_point(&g));
+        assert!(Point::infinity().add(&g).eq_point(&g));
+        assert!(Point::infinity().double().is_infinity());
+    }
+
+    #[test]
+    fn add_inverse_is_infinity() {
+        let g = Point::generator().mul(&Scalar::from_u64(777));
+        assert!(g.add(&g.neg()).is_infinity());
+    }
+}

@@ -1,0 +1,165 @@
+//! secp256k1 scalar arithmetic: integers modulo the group order `n`.
+//!
+//! Scalars are used far less often than field elements (a handful per
+//! signature), so this module leans on the generic shift-and-subtract
+//! reduction in [`crate::u256`] rather than a special-form fold.
+
+use crate::u256::{self, U256, U512};
+
+/// The secp256k1 group order.
+pub const N: U256 = U256([
+    0xbfd2_5e8c_d036_4141,
+    0xbaae_dce6_af48_a03b,
+    0xffff_ffff_ffff_fffe,
+    0xffff_ffff_ffff_ffff,
+]);
+
+/// An integer modulo the secp256k1 group order, kept reduced in `[0, n)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// Zero.
+    pub const ZERO: Scalar = Scalar(U256([0; 4]));
+    /// One.
+    pub const ONE: Scalar = Scalar(U256([1, 0, 0, 0]));
+
+    /// Builds from a `U256`, reducing mod `n`.
+    pub fn from_u256(v: U256) -> Scalar {
+        let mut v = v;
+        while !v.lt(&N) {
+            v = v.sbb(&N).0;
+        }
+        Scalar(v)
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// Interprets 32 big-endian bytes as an integer and reduces mod `n`.
+    ///
+    /// This is how hash outputs become challenge scalars; the reduction bias
+    /// is negligible because `n` is extremely close to `2^256`.
+    pub fn from_be_bytes_reduce(b: &[u8; 32]) -> Scalar {
+        Scalar::from_u256(U256::from_be_bytes(b))
+    }
+
+    /// Parses a hex constant (reduced mod `n`).
+    pub fn from_hex(s: &str) -> Scalar {
+        Scalar::from_u256(U256::from_hex(s))
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Exposes the inner integer.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// True iff this is the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Scalar addition mod `n`.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        Scalar(u256::mod_add(&self.0, &other.0, &N))
+    }
+
+    /// Scalar subtraction mod `n`.
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        Scalar(u256::mod_sub(&self.0, &other.0, &N))
+    }
+
+    /// Scalar negation mod `n`.
+    pub fn neg(&self) -> Scalar {
+        if self.is_zero() {
+            *self
+        } else {
+            Scalar(N.sbb(&self.0).0)
+        }
+    }
+
+    /// Scalar multiplication mod `n`.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        let wide: U512 = self.0.mul_wide(&other.0);
+        Scalar(wide.reduce(&N))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`n` is prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn invert(&self) -> Scalar {
+        assert!(!self.is_zero(), "inverse of zero scalar");
+        Scalar(u256::mod_inv_prime(&self.0, &N))
+    }
+
+    /// Returns bit `i` of the canonical representative.
+    pub fn bit(&self, i: usize) -> bool {
+        self.0.bit(i)
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        self.0.highest_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_constant_is_correct() {
+        let n = U256::from_hex(
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
+        );
+        assert_eq!(n, N);
+    }
+
+    #[test]
+    fn add_wraps_at_n() {
+        let n_minus_1 = Scalar::from_u256(N.sbb(&U256::ONE).0);
+        assert_eq!(n_minus_1.add(&Scalar::ONE), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.sub(&Scalar::ONE), n_minus_1);
+    }
+
+    #[test]
+    fn mul_and_invert() {
+        let a = Scalar::from_hex("deadbeefcafebabe123456789abcdef0fedcba9876543210ffffffffffffffff");
+        assert_eq!(a.mul(&a.invert()), Scalar::ONE);
+        let b = Scalar::from_u64(7);
+        assert_eq!(b.mul(&b.invert()), Scalar::ONE);
+    }
+
+    #[test]
+    fn reduce_of_large_bytes() {
+        // 2^256 − 1 mod n = 2^256 − 1 − n.
+        let all_ones = [0xffu8; 32];
+        let reduced = Scalar::from_be_bytes_reduce(&all_ones);
+        let expect = U256([u64::MAX; 4]).sbb(&N).0;
+        assert_eq!(reduced.to_u256(), expect);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = Scalar::from_hex("123456789abcdef0");
+        assert_eq!(a.add(&a.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let a = Scalar::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        let b = Scalar::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb");
+        let c = Scalar::from_hex("cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc");
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

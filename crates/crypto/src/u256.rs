@@ -1,0 +1,358 @@
+//! Minimal fixed-width 256-bit unsigned integer arithmetic.
+//!
+//! Just enough machinery for the secp256k1 field and scalar types: little-
+//! endian `u64` limbs, carry-propagating add/sub, comparison, shifting, a
+//! 256×256→512-bit schoolbook multiply and a generic 512-bit modular
+//! reduction by shift-and-subtract. Performance is adequate for tests and
+//! moderate signing volume; large simulations use the keyed signer instead.
+
+/// A 256-bit unsigned integer as four little-endian `u64` limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct U256(pub [u64; 4]);
+
+/// A 512-bit product as eight little-endian `u64` limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct U512(pub [u64; 8]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> U256 {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Parses 32 big-endian bytes.
+    pub fn from_be_bytes(b: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let chunk: [u8; 8] = b[8 * i..8 * i + 8].try_into().expect("8 bytes");
+            limbs[3 - i] = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * i + 8].copy_from_slice(&self.0[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian hex string of up to 64 nibbles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex input or input longer than 64 nibbles; intended for
+    /// compile-time constants and tests.
+    pub fn from_hex(s: &str) -> U256 {
+        assert!(s.len() <= 64, "hex too long");
+        let mut bytes = [0u8; 32];
+        let padded = format!("{s:0>64}");
+        for i in 0..32 {
+            bytes[i] = u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("hex digit");
+        }
+        U256::from_be_bytes(&bytes)
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// True iff the value is even.
+    pub fn is_even(&self) -> bool {
+        self.0[0] & 1 == 0
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < 256);
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for limb in (0..4).rev() {
+            if self.0[limb] != 0 {
+                return Some(limb * 64 + 63 - self.0[limb].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_u256(&self, other: &U256) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `self < other`.
+    pub fn lt(&self, other: &U256) -> bool {
+        self.cmp_u256(other) == std::cmp::Ordering::Less
+    }
+
+    /// Wrapping addition; returns (sum, carry).
+    #[allow(clippy::needless_range_loop)] // carry chains read better indexed
+    pub fn adc(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping subtraction; returns (difference, borrow).
+    #[allow(clippy::needless_range_loop)] // carry chains read better indexed
+    pub fn sbb(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Schoolbook 256×256→512-bit multiplication.
+    pub fn mul_wide(&self, other: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (other.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Logical left shift by one bit (overflow discarded).
+    #[allow(clippy::needless_range_loop)] // carry chains read better indexed
+    pub fn shl1(&self) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            out[i] = (self.0[i] << 1) | carry;
+            carry = self.0[i] >> 63;
+        }
+        U256(out)
+    }
+
+    /// Logical right shift by one bit.
+    #[allow(clippy::needless_range_loop)] // carry chains read better indexed
+    pub fn shr1(&self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.0[i] >> 1;
+            if i < 3 {
+                out[i] |= self.0[i + 1] << 63;
+            }
+        }
+        U256(out)
+    }
+}
+
+impl U512 {
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for limb in (0..8).rev() {
+            if self.0[limb] != 0 {
+                return Some(limb * 64 + 63 - self.0[limb].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Reduces this 512-bit value modulo a 256-bit modulus by binary long
+    /// division. O(512) limb operations; correctness first, speed later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn reduce(&self, modulus: &U256) -> U256 {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        let top = match self.highest_bit() {
+            None => return U256::ZERO,
+            Some(t) => t,
+        };
+        let mut rem = U256::ZERO;
+        for i in (0..=top).rev() {
+            // rem = rem * 2 + bit(i); rem stays < 2*modulus <= 2^257 only if
+            // modulus has its top bit set; handle the general case by
+            // subtracting up front.
+            let overflow = rem.bit(255);
+            rem = rem.shl1();
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            if overflow || !rem.lt(modulus) {
+                let (r, _) = rem.sbb(modulus);
+                rem = r;
+            }
+        }
+        rem
+    }
+}
+
+/// Modular addition for values already reduced mod `m`.
+pub fn mod_add(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (sum, carry) = a.adc(b);
+    if carry || !sum.lt(m) {
+        sum.sbb(m).0
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction for values already reduced mod `m`.
+pub fn mod_sub(a: &U256, b: &U256, m: &U256) -> U256 {
+    if a.lt(b) {
+        let (diff, _) = a.adc(m);
+        diff.sbb(b).0
+    } else {
+        a.sbb(b).0
+    }
+}
+
+/// Modular multiplication via wide multiply + generic reduction.
+pub fn mod_mul(a: &U256, b: &U256, m: &U256) -> U256 {
+    a.mul_wide(b).reduce(m)
+}
+
+/// Modular exponentiation (square-and-multiply, most-significant-bit first).
+pub fn mod_pow(base: &U256, exp: &U256, m: &U256) -> U256 {
+    let one = U256::ONE.mul_wide(&U256::ONE).reduce(m); // 1 mod m (handles m = 1)
+    let top = match exp.highest_bit() {
+        None => return one,
+        Some(t) => t,
+    };
+    let base = base.mul_wide(&U256::ONE).reduce(m);
+    let mut acc = one;
+    for i in (0..=top).rev() {
+        acc = mod_mul(&acc, &acc, m);
+        if exp.bit(i) {
+            acc = mod_mul(&acc, &base, m);
+        }
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`m` must be prime).
+pub fn mod_inv_prime(a: &U256, m: &U256) -> U256 {
+    let (m_minus_2, _) = m.sbb(&U256::from_u64(2));
+    mod_pow(a, &m_minus_2, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+        assert_eq!(
+            v.to_be_bytes().iter().map(|b| format!("{b:02x}")).collect::<String>(),
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+        );
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef");
+        let b = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+        let (sum, carry) = a.adc(&b);
+        assert!(!carry);
+        let (diff, borrow) = sum.sbb(&b);
+        assert!(!borrow);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn carry_and_borrow() {
+        let max = U256([u64::MAX; 4]);
+        let (sum, carry) = max.adc(&U256::ONE);
+        assert!(carry);
+        assert_eq!(sum, U256::ZERO);
+        let (diff, borrow) = U256::ZERO.sbb(&U256::ONE);
+        assert!(borrow);
+        assert_eq!(diff, max);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let a = U256::from_u64(0xffff_ffff_ffff_ffff);
+        let p = a.mul_wide(&a);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(p.0[0], 1);
+        assert_eq!(p.0[1], 0xffff_ffff_ffff_fffe);
+        assert_eq!(p.0[2..], [0; 6]);
+    }
+
+    #[test]
+    fn reduce_matches_small_numbers() {
+        // Cross-check against u128 arithmetic.
+        let m = U256::from_u64(1_000_000_007);
+        for (a, b) in [(12345u64, 67890u64), (u64::MAX, u64::MAX), (1, 0)] {
+            let prod = U256::from_u64(a).mul_wide(&U256::from_u64(b));
+            let got = prod.reduce(&m);
+            let expect = ((a as u128 * b as u128) % 1_000_000_007u128) as u64;
+            assert_eq!(got, U256::from_u64(expect));
+        }
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        let m = U256::from_u64(1_000_000_007);
+        // 3^45 mod p computed independently.
+        let mut expect = 1u128;
+        for _ in 0..45 {
+            expect = expect * 3 % 1_000_000_007;
+        }
+        let got = mod_pow(&U256::from_u64(3), &U256::from_u64(45), &m);
+        assert_eq!(got, U256::from_u64(expect as u64));
+    }
+
+    #[test]
+    fn mod_inv_small_prime() {
+        let m = U256::from_u64(1_000_000_007);
+        for a in [2u64, 3, 999, 123456789] {
+            let inv = mod_inv_prime(&U256::from_u64(a), &m);
+            let one = mod_mul(&U256::from_u64(a), &inv, &m);
+            assert_eq!(one, U256::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let v = U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001");
+        assert_eq!(v.shr1().shl1().0[0], 0); // low bit lost
+        assert!(v.bit(255));
+        assert!(v.bit(0));
+        assert_eq!(v.highest_bit(), Some(255));
+    }
+}

@@ -1,0 +1,697 @@
+//! Shared machinery for the broadcast engines: messages, events, effects,
+//! and the per-instance state common to the 2- and 3-round variants
+//! (payload/meta custody, per-digest echo tracking, the pull sub-protocol,
+//! and at-most-once delivery).
+
+use crate::payload::TribePayload;
+use crate::topology::ClanTopology;
+use clanbft_crypto::{AggregateSignature, Bitmap, Digest, Hasher, Signature};
+use clanbft_simnet::cost::CostModel;
+use clanbft_simnet::protocol::Message;
+use clanbft_types::{Micros, PartyId, Round};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One broadcast message, always in the context of `(source, round)`.
+#[derive(Clone, Debug)]
+pub enum RbcMsg<P: TribePayload> {
+    /// Full payload, sent by the source to its clan.
+    Val(P),
+    /// Meta view, sent by the source to parties outside the clan.
+    ValMeta(P::Meta),
+    /// Echo of the payload digest; signed in the 2-round variant.
+    /// The signature sits behind an `Arc` so a multicast to `n` parties
+    /// clones a pointer, not 64 bytes.
+    Echo {
+        /// Digest being echoed.
+        digest: Digest,
+        /// Signature over the echo statement (2-round variant only).
+        sig: Option<Arc<Signature>>,
+    },
+    /// Ready vote (3-round variant only).
+    Ready {
+        /// Digest being confirmed.
+        digest: Digest,
+    },
+    /// Echo certificate `EC_r(m)` (2-round variant only), shared so that
+    /// the all-to-all certificate multicast clones a pointer.
+    EchoCert {
+        /// Certified digest.
+        digest: Digest,
+        /// Aggregated echo signatures.
+        cert: Arc<AggregateSignature>,
+    },
+    /// Request for a missing full payload.
+    Pull {
+        /// Digest of the wanted payload.
+        digest: Digest,
+    },
+    /// Response carrying the full payload.
+    PullResp(P),
+    /// Request for a missing meta view.
+    PullMeta {
+        /// Digest of the wanted payload.
+        digest: Digest,
+    },
+    /// Response carrying the meta view.
+    MetaResp(P::Meta),
+}
+
+/// A routed broadcast message: the RBC instance key plus the message.
+#[derive(Clone, Debug)]
+pub struct RbcPacket<P: TribePayload> {
+    /// The designated sender of the instance.
+    pub source: PartyId,
+    /// The round the instance belongs to.
+    pub round: Round,
+    /// The message body.
+    pub msg: RbcMsg<P>,
+}
+
+/// Envelope overhead charged per packet (tag + source + round).
+const PACKET_HEADER_BYTES: usize = 16;
+
+impl<P: TribePayload> Message for RbcPacket<P> {
+    fn wire_bytes(&self) -> usize {
+        PACKET_HEADER_BYTES
+            + match &self.msg {
+                RbcMsg::Val(p) | RbcMsg::PullResp(p) => p.wire_bytes(),
+                RbcMsg::ValMeta(m) | RbcMsg::MetaResp(m) => P::meta_wire_bytes(m),
+                RbcMsg::Echo { sig, .. } => 32 + if sig.is_some() { 64 } else { 0 },
+                RbcMsg::Ready { .. } => 32,
+                // BLS-model certificate size: κ aggregate + signer bitmap.
+                RbcMsg::EchoCert { cert, .. } => 32 + cert.wire_bytes(),
+                RbcMsg::Pull { .. } | RbcMsg::PullMeta { .. } => 32,
+            }
+    }
+}
+
+/// Observable outcomes of the broadcast layer.
+#[derive(Clone, Debug)]
+pub enum RbcEvent<P: TribePayload> {
+    /// `2f+1` echoes including `f_c+1` from the clan — a clan member may
+    /// begin pulling the payload (paper §5's early-download optimization).
+    EchoQuorum {
+        /// Instance source.
+        source: PartyId,
+        /// Instance round.
+        round: Round,
+        /// Certified digest.
+        digest: Digest,
+    },
+    /// The digest is certified: 2f+1 READYs (3-round) or a valid echo
+    /// certificate (2-round). Consensus uses this for round progress.
+    Certified {
+        /// Instance source.
+        source: PartyId,
+        /// Instance round.
+        round: Round,
+        /// Certified digest.
+        digest: Digest,
+    },
+    /// `r_deliver` of the full payload (clan members).
+    DeliverFull {
+        /// Instance source.
+        source: PartyId,
+        /// Instance round.
+        round: Round,
+        /// The payload.
+        payload: P,
+    },
+    /// `r_deliver` of the meta view (parties outside the clan).
+    DeliverMeta {
+        /// Instance source.
+        source: PartyId,
+        /// Instance round.
+        round: Round,
+        /// The meta view.
+        meta: P::Meta,
+    },
+}
+
+/// Collected side effects of one engine invocation.
+pub struct Effects<P: TribePayload> {
+    /// Messages to transmit.
+    pub out: Vec<(PartyId, RbcPacket<P>)>,
+    /// Events for the layer above.
+    pub events: Vec<RbcEvent<P>>,
+    /// Simulated CPU time consumed.
+    pub charge: Micros,
+}
+
+impl<P: TribePayload> Default for Effects<P> {
+    fn default() -> Self {
+        Effects { out: Vec::new(), events: Vec::new(), charge: Micros::ZERO }
+    }
+}
+
+impl<P: TribePayload> Effects<P> {
+    /// A fresh, empty effect set.
+    pub fn new() -> Effects<P> {
+        Effects::default()
+    }
+
+    pub(crate) fn send(&mut self, to: PartyId, source: PartyId, round: Round, msg: RbcMsg<P>) {
+        self.out.push((to, RbcPacket { source, round, msg }));
+    }
+
+    /// Adds simulated CPU time to this effect set.
+    pub fn charge(&mut self, c: Micros) {
+        self.charge += c;
+    }
+}
+
+/// The statement an echo signature covers.
+pub(crate) fn echo_statement(source: PartyId, round: Round, digest: &Digest) -> Digest {
+    Hasher::new("clanbft/rbc-echo")
+        .chain_u64(source.0 as u64)
+        .chain_u64(round.0)
+        .chain(digest.as_bytes())
+        .finalize()
+}
+
+/// Per-digest echo bookkeeping.
+pub(crate) struct EchoSet {
+    pub all: Bitmap,
+    pub clan_count: usize,
+    /// Signed contributions, for certificate assembly (2-round variant).
+    pub sigs: Vec<(usize, Signature)>,
+}
+
+impl EchoSet {
+    fn new(n: usize) -> EchoSet {
+        EchoSet { all: Bitmap::new(n), clan_count: 0, sigs: Vec::new() }
+    }
+}
+
+/// Per-digest ready bookkeeping (3-round variant).
+pub(crate) struct ReadySet {
+    pub all: Bitmap,
+}
+
+/// State of one broadcast instance at one party.
+pub(crate) struct Instance<P: TribePayload> {
+    /// Validated full payload, if held.
+    pub payload: Option<P>,
+    /// Digest of `payload`, cached (hashing a vertex repeatedly is hot).
+    pub payload_digest: Option<Digest>,
+    /// Meta view, if held.
+    pub meta: Option<P::Meta>,
+    /// Digest of `meta`, cached.
+    pub meta_digest: Option<Digest>,
+    /// Digest this party echoed (first valid VAL/meta accepted).
+    pub echoed: Option<Digest>,
+    /// Echoes seen, per digest.
+    pub echoes: HashMap<Digest, EchoSet>,
+    /// Readies seen, per digest (3-round variant).
+    pub readies: HashMap<Digest, ReadySet>,
+    /// Digest of my READY, if sent (3-round variant).
+    pub ready_sent: Option<Digest>,
+    /// Certified digest, once known.
+    pub certified: Option<Digest>,
+    /// Whether `EchoQuorum` has been emitted.
+    pub echo_quorum_emitted: bool,
+    /// Whether this party has `r_deliver`ed.
+    pub delivered: bool,
+    /// Pull escalation level: 0 = none, 1 = single-peer probe (echo
+    /// quorum), 2 = full `f_c+1` fan-out (certification).
+    pub pull_level: u8,
+    /// Whether a meta pull has been issued.
+    pub meta_pull_sent: bool,
+    /// Whether an echo certificate has been multicast/forwarded (2-round).
+    pub cert_sent: bool,
+    /// Peers already served a pull response (rate limiting).
+    pub served_pull: Bitmap,
+    /// Peers already served a meta response (rate limiting).
+    pub served_meta: Bitmap,
+}
+
+impl<P: TribePayload> Instance<P> {
+    pub(crate) fn new(n: usize) -> Instance<P> {
+        Instance {
+            payload: None,
+            payload_digest: None,
+            meta: None,
+            meta_digest: None,
+            echoed: None,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+            ready_sent: None,
+            certified: None,
+            echo_quorum_emitted: false,
+            delivered: false,
+            pull_level: 0,
+            meta_pull_sent: false,
+            cert_sent: false,
+            served_pull: Bitmap::new(n),
+            served_meta: Bitmap::new(n),
+        }
+    }
+
+    pub(crate) fn echo_set(&mut self, n: usize, digest: Digest) -> &mut EchoSet {
+        self.echoes.entry(digest).or_insert_with(|| EchoSet::new(n))
+    }
+
+    pub(crate) fn ready_set(&mut self, n: usize, digest: Digest) -> &mut ReadySet {
+        self.readies
+            .entry(digest)
+            .or_insert_with(|| ReadySet { all: Bitmap::new(n) })
+    }
+}
+
+/// Configuration shared by both engine variants.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// This party.
+    pub me: PartyId,
+    /// Tribe and clan structure.
+    pub topology: Arc<ClanTopology>,
+    /// CPU cost model for charge accounting.
+    pub cost: CostModel,
+}
+
+impl EngineConfig {
+    /// Convenience constructor.
+    pub fn new(me: PartyId, topology: Arc<ClanTopology>, cost: CostModel) -> EngineConfig {
+        EngineConfig { me, topology, cost }
+    }
+
+    /// Tribe quorum `2f+1`.
+    pub fn quorum(&self) -> usize {
+        self.topology.tribe().quorum()
+    }
+
+    /// Tribe `f+1`.
+    pub fn small_quorum(&self) -> usize {
+        self.topology.tribe().small_quorum()
+    }
+
+    /// Tribe size.
+    pub fn n(&self) -> usize {
+        self.topology.tribe().n()
+    }
+}
+
+/// Common instance-level operations parameterized by topology and cost
+/// model. Both engines delegate here for VAL/meta custody, pulls and
+/// delivery.
+pub(crate) struct Core<P: TribePayload> {
+    pub cfg: EngineConfig,
+    pub instances: HashMap<(Round, PartyId), Instance<P>>,
+}
+
+impl<P: TribePayload> Core<P> {
+    pub(crate) fn new(cfg: EngineConfig) -> Core<P> {
+        Core { cfg, instances: HashMap::new() }
+    }
+
+    pub(crate) fn instance(&mut self, round: Round, source: PartyId) -> &mut Instance<P> {
+        let n = self.cfg.n();
+        self.instances
+            .entry((round, source))
+            .or_insert_with(|| Instance::new(n))
+    }
+
+    /// The meta view held for `(round, source)`, if any.
+    pub(crate) fn meta_of(&mut self, round: Round, source: PartyId) -> Option<P::Meta> {
+        self.instance(round, source).meta.clone()
+    }
+
+    /// The full payload held for `(round, source)`, if any.
+    pub(crate) fn payload_of(&mut self, round: Round, source: PartyId) -> Option<P> {
+        self.instance(round, source).payload.clone()
+    }
+
+    /// Drops state for instances strictly below `round` (garbage
+    /// collection; the DAG layer prunes in lockstep).
+    pub(crate) fn prune_below(&mut self, round: Round) {
+        self.instances.retain(|(r, _), _| *r >= round);
+    }
+
+    /// Accepts a full payload (from VAL or PullResp); returns the digest to
+    /// act on if the payload is fresh and valid.
+    pub(crate) fn accept_payload(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        payload: P,
+        fx: &mut Effects<P>,
+    ) -> Option<Digest> {
+        let cost = self.cfg.cost;
+        fx.charge(cost.hash(payload.wire_bytes()));
+        if !payload.validate() {
+            return None;
+        }
+        let digest = payload.rbc_digest();
+        let inst = self.instance(round, source);
+        if inst.payload.is_some() {
+            return None;
+        }
+        // Payloads must match an already-certified digest when one exists
+        // (a Byzantine responder cannot swap payloads post-certification).
+        if let Some(c) = inst.certified {
+            if c != digest {
+                return None;
+            }
+        }
+        if inst.meta.is_none() {
+            inst.meta = Some(payload.meta());
+            inst.meta_digest = Some(digest);
+        }
+        inst.payload = Some(payload);
+        inst.payload_digest = Some(digest);
+        fx.charge(cost.db_write());
+        Some(digest)
+    }
+
+    /// Accepts a meta view; returns its digest if fresh.
+    pub(crate) fn accept_meta(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        meta: P::Meta,
+    ) -> Option<Digest> {
+        let digest = P::meta_digest(&meta);
+        let inst = self.instance(round, source);
+        if inst.meta.is_some() {
+            return None;
+        }
+        if let Some(c) = inst.certified {
+            if c != digest {
+                return None;
+            }
+        }
+        inst.meta = Some(meta);
+        inst.meta_digest = Some(digest);
+        Some(digest)
+    }
+
+    /// Records an echo; returns `(total, clan_count)` after insertion, or
+    /// `None` for duplicates.
+    pub(crate) fn note_echo(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        from: PartyId,
+        digest: Digest,
+        sig: Option<Signature>,
+    ) -> Option<(usize, usize)> {
+        let n = self.cfg.n();
+        let in_clan = self.cfg.topology.clan_for_sender(source).contains(from);
+        let inst = self.instance(round, source);
+        let set = inst.echo_set(n, digest);
+        if !set.all.set(from.idx()) {
+            return None;
+        }
+        if in_clan {
+            set.clan_count += 1;
+        }
+        if let Some(s) = sig {
+            set.sigs.push((from.idx(), s));
+        }
+        Some((set.all.count(), set.clan_count))
+    }
+
+    /// True iff `(total, clan)` meets the tribe-assisted echo threshold for
+    /// this `source`: `2f+1` overall with at least `f_c+1` from the clan.
+    pub(crate) fn echo_threshold_met(&self, source: PartyId, total: usize, clan: usize) -> bool {
+        total >= self.cfg.quorum() && clan >= self.cfg.topology.clan_for_sender(source).clan_quorum
+    }
+
+    /// Marks the digest certified and performs delivery or starts pulls.
+    pub(crate) fn certify(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let me = self.cfg.me;
+        let full_receiver = self.cfg.topology.receives_full(me, source);
+        enum Act {
+            Nothing,
+            PullPayload,
+            PullMeta,
+        }
+        let act = {
+            let inst = self.instance(round, source);
+            if inst.certified.is_some() {
+                return;
+            }
+            inst.certified = Some(digest);
+            fx.events.push(RbcEvent::Certified { source, round, digest });
+            if inst.delivered {
+                Act::Nothing
+            } else if full_receiver {
+                match (&inst.payload, inst.payload_digest) {
+                    (Some(p), Some(d)) if d == digest => {
+                        inst.delivered = true;
+                        let payload = p.clone();
+                        fx.events.push(RbcEvent::DeliverFull { source, round, payload });
+                        Act::Nothing
+                    }
+                    _ => {
+                        // Payload missing or (Byzantine sender) mismatched —
+                        // discard a mismatch and pull the certified one.
+                        if inst.payload_digest.is_some_and(|d| d != digest) {
+                            inst.payload = None;
+                            inst.payload_digest = None;
+                        }
+                        Act::PullPayload
+                    }
+                }
+            } else {
+                match (&inst.meta, inst.meta_digest) {
+                    (Some(m), Some(d)) if d == digest => {
+                        inst.delivered = true;
+                        let meta = m.clone();
+                        fx.events.push(RbcEvent::DeliverMeta { source, round, meta });
+                        Act::Nothing
+                    }
+                    _ => {
+                        if inst.meta_digest.is_some_and(|d| d != digest) {
+                            inst.meta = None;
+                            inst.meta_digest = None;
+                        }
+                        Act::PullMeta
+                    }
+                }
+            }
+        };
+        match act {
+            Act::Nothing => {}
+            Act::PullPayload => self.start_pull(round, source, digest, 2, fx),
+            Act::PullMeta => self.start_meta_pull(round, source, digest, fx),
+        }
+    }
+
+    /// Emits `EchoQuorum` once and starts the early pull if this clan
+    /// member lacks the payload.
+    pub(crate) fn on_echo_quorum(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let me = self.cfg.me;
+        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let inst = self.instance(round, source);
+        if inst.echo_quorum_emitted {
+            return;
+        }
+        inst.echo_quorum_emitted = true;
+        fx.events.push(RbcEvent::EchoQuorum { source, round, digest });
+        let lacks_payload = inst.payload.is_none();
+        if full_receiver && lacks_payload {
+            // Gentle first probe: one clan echoer. In the good case the
+            // sender's own copy is moments away; the guaranteed-honest
+            // f_c+1 fan-out waits for certification (§5's early download,
+            // without amplifying every in-flight block into a pull storm).
+            self.start_pull(round, source, digest, 1, fx);
+        }
+    }
+
+    /// Requests the payload from up to `level` escalation: 1 = a single
+    /// clan echoer (cheap probe), 2 = `f_c+1` clan members that echoed
+    /// `digest` (at least one of them is honest and holds it).
+    fn start_pull(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        level: u8,
+        fx: &mut Effects<P>,
+    ) {
+        let clan = self.cfg.topology.clan_for_sender(source).clone();
+        let me = self.cfg.me;
+        let inst = self.instance(round, source);
+        if inst.pull_level >= level {
+            return;
+        }
+        let already = inst.pull_level as usize;
+        inst.pull_level = level;
+        let want = if level >= 2 { clan.clan_quorum } else { 1 };
+        let targets: Vec<PartyId> = inst
+            .echoes
+            .get(&digest)
+            .map(|set| {
+                set.all
+                    .iter()
+                    .map(|i| PartyId(i as u32))
+                    .filter(|p| clan.contains(*p) && *p != me)
+                    .take(want)
+                    .skip(already)
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Fall back to the whole clan if echo provenance is unknown (can
+        // happen when certification arrives via certificate before echoes).
+        let targets = if targets.is_empty() && already == 0 {
+            clan.members
+                .iter()
+                .copied()
+                .filter(|p| *p != me)
+                .take(want)
+                .collect()
+        } else {
+            targets
+        };
+        for t in targets {
+            fx.send(t, source, round, RbcMsg::Pull { digest });
+        }
+    }
+
+    /// Requests the meta view from `f+1` tribe members that echoed it.
+    fn start_meta_pull(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let me = self.cfg.me;
+        let f1 = self.cfg.small_quorum();
+        let n = self.cfg.n();
+        let inst = self.instance(round, source);
+        if inst.meta_pull_sent {
+            return;
+        }
+        inst.meta_pull_sent = true;
+        let mut targets: Vec<PartyId> = inst
+            .echoes
+            .get(&digest)
+            .map(|set| {
+                set.all
+                    .iter()
+                    .map(|i| PartyId(i as u32))
+                    .filter(|p| *p != me)
+                    .take(f1)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if targets.is_empty() {
+            targets = (0..n as u32).map(PartyId).filter(|p| *p != me).take(f1).collect();
+        }
+        for t in targets {
+            fx.send(t, source, round, RbcMsg::PullMeta { digest });
+        }
+    }
+
+    /// Serves a pull request if this party holds the matching payload.
+    pub(crate) fn handle_pull(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        from: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let inst = self.instance(round, source);
+        // Rate limit: one response per peer per instance.
+        if !inst.served_pull.set(from.idx()) {
+            return;
+        }
+        if let (Some(p), Some(d)) = (&inst.payload, inst.payload_digest) {
+            if d == digest {
+                let payload = p.clone();
+                fx.send(from, source, round, RbcMsg::PullResp(payload));
+            }
+        }
+    }
+
+    /// Serves a meta pull request.
+    pub(crate) fn handle_pull_meta(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        from: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let inst = self.instance(round, source);
+        if !inst.served_meta.set(from.idx()) {
+            return;
+        }
+        if let (Some(m), Some(d)) = (&inst.meta, inst.meta_digest) {
+            if d == digest {
+                let meta = m.clone();
+                fx.send(from, source, round, RbcMsg::MetaResp(meta));
+            }
+        }
+    }
+
+    /// Delivers if the instance is certified and this party now holds the
+    /// matching payload (clan member) or meta view (everyone else).
+    pub(crate) fn deliver_if_ready(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        let me = self.cfg.me;
+        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let inst = self.instance(round, source);
+        if inst.delivered {
+            return;
+        }
+        if full_receiver {
+            if let (Some(c), Some(p), Some(d)) = (inst.certified, &inst.payload, inst.payload_digest) {
+                if d == c {
+                    inst.delivered = true;
+                    let payload = p.clone();
+                    fx.events.push(RbcEvent::DeliverFull { source, round, payload });
+                }
+            }
+        } else if let (Some(c), Some(m), Some(d)) = (inst.certified, &inst.meta, inst.meta_digest) {
+            if d == c {
+                inst.delivered = true;
+                let meta = m.clone();
+                fx.events.push(RbcEvent::DeliverMeta { source, round, meta });
+            }
+        }
+    }
+
+    /// Integrates a pulled payload, delivering if certified.
+    pub(crate) fn handle_pull_resp(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        payload: P,
+        fx: &mut Effects<P>,
+    ) {
+        if self.accept_payload(round, source, payload, fx).is_none() {
+            return;
+        }
+        self.deliver_if_ready(round, source, fx);
+    }
+
+    /// Integrates a pulled meta view, delivering if certified.
+    pub(crate) fn handle_meta_resp(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        meta: P::Meta,
+        fx: &mut Effects<P>,
+    ) {
+        if self.accept_meta(round, source, meta).is_none() {
+            return;
+        }
+        self.deliver_if_ready(round, source, fx);
+    }
+}

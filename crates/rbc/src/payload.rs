@@ -1,0 +1,113 @@
+//! Payload abstraction for tribe-assisted broadcast.
+//!
+//! A [`TribePayload`] splits into two views: the **full** payload delivered
+//! to the sender's clan, and the **meta** view delivered to everyone else.
+//! For plain data dissemination (paper §3/§4) the meta view is just the
+//! digest; for the merged vertex+block dissemination of §5 the meta view is
+//! the whole vertex (which embeds the block digest), so non-clan parties
+//! still learn the DAG structure.
+
+use clanbft_crypto::Digest;
+use std::sync::Arc;
+
+/// A broadcastable payload with a clan-only full view and a tribe-wide meta
+/// view.
+pub trait TribePayload: Clone + std::fmt::Debug + Send + 'static {
+    /// What parties outside the sender's clan receive.
+    type Meta: Clone + std::fmt::Debug + Send + 'static;
+
+    /// The digest the tribe agrees on (carried by ECHO/READY messages).
+    fn rbc_digest(&self) -> Digest;
+
+    /// Extracts the tribe-wide view.
+    fn meta(&self) -> Self::Meta;
+
+    /// The digest recoverable from the meta view alone. Must equal
+    /// [`TribePayload::rbc_digest`] of the corresponding full payload.
+    fn meta_digest(meta: &Self::Meta) -> Digest;
+
+    /// Internal consistency check of a received full payload (e.g. that the
+    /// block matches the vertex's embedded block digest). Engines reject
+    /// payloads that fail this.
+    fn validate(&self) -> bool;
+
+    /// Wire size of the full payload.
+    fn wire_bytes(&self) -> usize;
+
+    /// Wire size of the meta view.
+    fn meta_wire_bytes(meta: &Self::Meta) -> usize;
+}
+
+/// Plain-bytes payload: full view is the data, meta view is `(digest, len)`.
+///
+/// The data sits behind an [`Arc`] so that multicasting clones cheaply.
+#[derive(Clone, Debug)]
+pub struct BytesPayload {
+    data: Arc<Vec<u8>>,
+    digest: Digest,
+}
+
+impl BytesPayload {
+    /// Wraps `data`, computing its digest once.
+    pub fn new(data: Vec<u8>) -> BytesPayload {
+        let digest = Digest::of(&data);
+        BytesPayload { data: Arc::new(data), digest }
+    }
+
+    /// The underlying bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl TribePayload for BytesPayload {
+    type Meta = (Digest, u64);
+
+    fn rbc_digest(&self) -> Digest {
+        self.digest
+    }
+
+    fn meta(&self) -> Self::Meta {
+        (self.digest, self.data.len() as u64)
+    }
+
+    fn meta_digest(meta: &Self::Meta) -> Digest {
+        meta.0
+    }
+
+    fn validate(&self) -> bool {
+        // Digest was computed locally at construction; received payloads are
+        // re-wrapped through `new`, so the check is structural.
+        Digest::of(&self.data) == self.digest
+    }
+
+    fn wire_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn meta_wire_bytes(_meta: &Self::Meta) -> usize {
+        40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_payload_views() {
+        let p = BytesPayload::new(vec![7u8; 100]);
+        assert_eq!(p.wire_bytes(), 100);
+        let meta = p.meta();
+        assert_eq!(BytesPayload::meta_digest(&meta), p.rbc_digest());
+        assert_eq!(meta.1, 100);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn digest_binds_content() {
+        let a = BytesPayload::new(vec![1, 2, 3]);
+        let b = BytesPayload::new(vec![1, 2, 4]);
+        assert_ne!(a.rbc_digest(), b.rbc_digest());
+    }
+}

@@ -1,0 +1,270 @@
+//! Two-round tribe-assisted reliable broadcast (paper Fig. 3).
+//!
+//! Signed, after Abraham et al.'s good-case-optimal RBC: VAL → signed ECHO →
+//! echo certificate `EC_r(m)`. A party that collects `2f+1` signed ECHOes
+//! (with `f_c+1` from the sender's clan) multicasts the certificate and
+//! delivers; a party that *receives* a valid certificate forwards it once
+//! and delivers. The forward is required for agreement when the certificate
+//! originates from a Byzantine party that sent it selectively — the paper's
+//! proof implicitly assumes it.
+//!
+//! Per the paper's implementation (§7), echo signatures are aggregated
+//! without upfront verification; a receiver verifies the aggregate and, on
+//! failure, identifies and excludes culprits, accepting the certificate if
+//! the surviving contributions still meet both thresholds.
+
+use crate::engine::{echo_statement, Core, Effects, EngineConfig, RbcMsg, RbcPacket};
+use crate::payload::TribePayload;
+use clanbft_crypto::multisig::AggregateVerdict;
+use clanbft_crypto::{AggregateSignature, Authenticator, Digest};
+use clanbft_types::{PartyId, Round};
+use std::sync::Arc;
+
+/// The 2-round tribe-assisted RBC engine (all instances for one party).
+pub struct TribeRbc2<P: TribePayload> {
+    core: Core<P>,
+    auth: Arc<Authenticator>,
+    /// When false, certificate signature bytes are not actually checked
+    /// (their CPU cost is still charged). Large-scale simulations flip this
+    /// off for tractability; correctness tests keep it on.
+    verify_sigs: bool,
+}
+
+impl<P: TribePayload> TribeRbc2<P> {
+    /// Creates the engine for one party.
+    pub fn new(cfg: EngineConfig, auth: Arc<Authenticator>) -> TribeRbc2<P> {
+        TribeRbc2 { core: Core::new(cfg), auth, verify_sigs: true }
+    }
+
+    /// Disables real signature verification (cost-model charges remain).
+    pub fn with_sig_verification(mut self, on: bool) -> TribeRbc2<P> {
+        self.verify_sigs = on;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.core.cfg
+    }
+
+    /// `r_bcast`: disseminates `payload` as this party's broadcast for
+    /// `round`.
+    pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
+        let me = self.core.cfg.me;
+        let topo = self.core.cfg.topology.clone();
+        let clan = topo.clan_for_sender(me);
+        let meta = payload.meta();
+        fx.charge(self.core.cfg.cost.hash(payload.wire_bytes()));
+        fx.charge(self.core.cfg.cost.sign());
+        for p in topo.tribe().parties() {
+            if clan.contains(p) {
+                fx.send(p, me, round, RbcMsg::Val(payload.clone()));
+            } else {
+                fx.send(p, me, round, RbcMsg::ValMeta(meta.clone()));
+            }
+        }
+    }
+
+    /// Handles one received packet.
+    pub fn handle(&mut self, from: PartyId, packet: RbcPacket<P>, fx: &mut Effects<P>) {
+        let RbcPacket { source, round, msg } = packet;
+        match msg {
+            RbcMsg::Val(payload) => {
+                if from != source {
+                    return;
+                }
+                if let Some(d) = self.core.accept_payload(round, source, payload, fx) {
+                    self.maybe_echo(round, source, d, fx);
+                }
+                self.core.deliver_if_ready(round, source, fx);
+            }
+            RbcMsg::ValMeta(meta) => {
+                if from != source {
+                    return;
+                }
+                // A clan member must not echo on the meta view alone: its
+                // echo asserts custody of the full payload (that is what
+                // makes f_c+1 clan echoes imply retrievability).
+                let me = self.core.cfg.me;
+                let full_receiver = self.core.cfg.topology.receives_full(me, source);
+                if let Some(d) = self.core.accept_meta(round, source, meta) {
+                    if !full_receiver {
+                        self.maybe_echo(round, source, d, fx);
+                    }
+                }
+                self.core.deliver_if_ready(round, source, fx);
+            }
+            RbcMsg::Echo { digest, sig } => {
+                let sig = match sig {
+                    Some(s) => *s,
+                    None => return, // unsigned echoes are not acceptable here
+                };
+                // Aggregate without upfront verification (paper §7).
+                fx.charge(self.core.cfg.cost.aggregate(1));
+                if let Some((total, clan)) =
+                    self.core.note_echo(round, source, from, digest, Some(sig))
+                {
+                    if self.core.echo_threshold_met(source, total, clan) {
+                        self.form_and_send_cert(round, source, digest, fx);
+                    }
+                }
+            }
+            RbcMsg::EchoCert { digest, cert } => {
+                // Duplicate certificates for an already-certified instance
+                // are dropped before any verification cost is paid.
+                if self.core.instance(round, source).certified.is_some() {
+                    return;
+                }
+                if self.validate_cert(source, round, digest, &cert, fx) {
+                    self.forward_cert_once(round, source, digest, cert, fx);
+                    self.core.on_echo_quorum(round, source, digest, fx);
+                    self.core.certify(round, source, digest, fx);
+                }
+            }
+            RbcMsg::Pull { digest } => self.core.handle_pull(round, source, from, digest, fx),
+            RbcMsg::PullResp(payload) => self.core.handle_pull_resp(round, source, payload, fx),
+            RbcMsg::PullMeta { digest } => {
+                self.core.handle_pull_meta(round, source, from, digest, fx)
+            }
+            RbcMsg::MetaResp(meta) => self.core.handle_meta_resp(round, source, meta, fx),
+            RbcMsg::Ready { .. } => {
+                // Not part of the 2-round protocol; ignore.
+            }
+        }
+    }
+
+    /// The meta view (vertex) held for `(round, source)`, if any — lets the
+    /// consensus layer act on certification before the full payload lands.
+    pub fn meta_of(&mut self, round: Round, source: PartyId) -> Option<P::Meta> {
+        self.core.meta_of(round, source)
+    }
+
+    /// The full payload held for `(round, source)`, if any.
+    pub fn payload_of(&mut self, round: Round, source: PartyId) -> Option<P> {
+        self.core.payload_of(round, source)
+    }
+
+    /// Garbage-collects instances below `round`.
+    pub fn prune_below(&mut self, round: Round) {
+        self.core.prune_below(round);
+    }
+
+    /// True iff this party has delivered for `(round, source)`.
+    pub fn delivered(&mut self, round: Round, source: PartyId) -> bool {
+        self.core.instance(round, source).delivered
+    }
+
+    fn maybe_echo(&mut self, round: Round, source: PartyId, digest: Digest, fx: &mut Effects<P>) {
+        let parties: Vec<PartyId> = self.core.cfg.topology.tribe().parties().collect();
+        let statement = echo_statement(source, round, &digest);
+        {
+            let inst = self.core.instance(round, source);
+            if inst.echoed.is_some() {
+                return;
+            }
+            inst.echoed = Some(digest);
+        }
+        fx.charge(self.core.cfg.cost.sign());
+        let sig = Arc::new(self.auth.sign_digest(&statement));
+        for p in parties {
+            fx.send(p, source, round, RbcMsg::Echo { digest, sig: Some(Arc::clone(&sig)) });
+        }
+    }
+
+    /// Assembles `EC_r(m)` from collected echoes, multicasts it, and
+    /// delivers locally.
+    fn form_and_send_cert(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        fx: &mut Effects<P>,
+    ) {
+        let n = self.core.cfg.n();
+        let parties: Vec<PartyId> = self.core.cfg.topology.tribe().parties().collect();
+        let cert = {
+            let inst = self.core.instance(round, source);
+            if inst.cert_sent {
+                return;
+            }
+            inst.cert_sent = true;
+            let sigs = inst
+                .echoes
+                .get(&digest)
+                .map(|set| set.sigs.clone())
+                .unwrap_or_default();
+            Arc::new(AggregateSignature::aggregate(n, &sigs))
+        };
+        for p in parties {
+            if p != self.core.cfg.me {
+                fx.send(p, source, round, RbcMsg::EchoCert { digest, cert: Arc::clone(&cert) });
+            }
+        }
+        self.core.on_echo_quorum(round, source, digest, fx);
+        self.core.certify(round, source, digest, fx);
+    }
+
+    /// Verifies a received certificate: thresholds on the (culprit-pruned)
+    /// signer set, then the aggregate signature.
+    fn validate_cert(
+        &mut self,
+        source: PartyId,
+        round: Round,
+        digest: Digest,
+        cert: &AggregateSignature,
+        fx: &mut Effects<P>,
+    ) -> bool {
+        let quorum = self.core.cfg.quorum();
+        let clan = self.core.cfg.topology.clan_for_sender(source).clone();
+        fx.charge(self.core.cfg.cost.agg_verify(cert.count()));
+        let statement = echo_statement(source, round, &digest);
+        let culprits: Vec<usize> = if self.verify_sigs {
+            match cert.verify(self.auth.registry(), statement.as_bytes()) {
+                AggregateVerdict::Valid => Vec::new(),
+                AggregateVerdict::Invalid(bad) => {
+                    // Blame path: individual verification to identify
+                    // culprits (charged per paper's fallback).
+                    fx.charge(
+                        self.core.cfg.cost.sig_verify() * cert.count() as u32,
+                    );
+                    bad
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let good_total = cert
+            .signers
+            .count_matching(|i| !culprits.contains(&i));
+        let good_clan = cert
+            .signers
+            .count_matching(|i| !culprits.contains(&i) && clan.contains(PartyId(i as u32)));
+        good_total >= quorum && good_clan >= clan.clan_quorum
+    }
+
+    /// Forwards a valid certificate once (required for agreement when the
+    /// originator distributed it selectively).
+    fn forward_cert_once(
+        &mut self,
+        round: Round,
+        source: PartyId,
+        digest: Digest,
+        cert: Arc<AggregateSignature>,
+        fx: &mut Effects<P>,
+    ) {
+        let parties: Vec<PartyId> = self.core.cfg.topology.tribe().parties().collect();
+        let me = self.core.cfg.me;
+        {
+            let inst = self.core.instance(round, source);
+            if inst.cert_sent {
+                return;
+            }
+            inst.cert_sent = true;
+        }
+        for p in parties {
+            if p != me {
+                fx.send(p, source, round, RbcMsg::EchoCert { digest, cert: Arc::clone(&cert) });
+            }
+        }
+    }
+}

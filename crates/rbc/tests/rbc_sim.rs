@@ -1,0 +1,434 @@
+//! End-to-end tests of the tribe-assisted RBC engines over the
+//! discrete-event simulator, including Byzantine sender behaviours.
+
+use clanbft_crypto::{Authenticator, Registry, Scheme};
+use clanbft_rbc::standalone::{AnyNode, ByzantineNode, ByzantineSender, Delivery, StandaloneNode};
+use clanbft_rbc::{BytesPayload, ClanTopology, EngineConfig};
+use clanbft_simnet::cost::CostModel;
+use clanbft_simnet::net::{SimConfig, Simulator};
+use clanbft_types::{Micros, PartyId, Round, TribeParams};
+use std::sync::Arc;
+
+type Node = AnyNode<BytesPayload>;
+type Sim = Simulator<clanbft_rbc::RbcPacket<BytesPayload>, Node>;
+
+enum Variant {
+    Three,
+    Two,
+}
+
+struct Setup {
+    topology: Arc<ClanTopology>,
+    auths: Vec<Arc<Authenticator>>,
+    cfg: SimConfig,
+}
+
+fn setup(n: usize, clan: Option<Vec<u32>>, seed: u64) -> Setup {
+    let tribe = TribeParams::new(n);
+    let topology = Arc::new(match clan {
+        None => ClanTopology::whole_tribe(tribe),
+        Some(members) => {
+            ClanTopology::single_clan(tribe, members.into_iter().map(PartyId).collect())
+        }
+    });
+    let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, seed);
+    let auths: Vec<Arc<Authenticator>> = keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| Arc::new(Authenticator::new(i, kp, Arc::clone(&registry))))
+        .collect();
+    let mut cfg = SimConfig::benign(n, seed);
+    cfg.cost = CostModel::free();
+    cfg.jitter_frac = 0.0;
+    Setup { topology, auths, cfg }
+}
+
+fn honest(setup: &Setup, i: usize, variant: &Variant) -> StandaloneNode<BytesPayload> {
+    let ecfg = EngineConfig::new(
+        PartyId(i as u32),
+        Arc::clone(&setup.topology),
+        CostModel::free(),
+    );
+    match variant {
+        Variant::Three => StandaloneNode::three(ecfg),
+        Variant::Two => StandaloneNode::two(ecfg, Arc::clone(&setup.auths[i])),
+    }
+}
+
+fn run(sim: &mut Sim) {
+    sim.run_until(Micros::from_secs(30));
+}
+
+fn full_deliveries(node: &Node) -> Vec<(PartyId, Round, Vec<u8>, Micros)> {
+    match node {
+        AnyNode::Honest(h) => h
+            .deliveries
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::Full(s, r, p, t) => Some((*s, *r, p.data().to_vec(), *t)),
+                Delivery::Meta(..) => None,
+            })
+            .collect(),
+        AnyNode::Byzantine(_) => Vec::new(),
+    }
+}
+
+fn meta_deliveries(node: &Node) -> Vec<(PartyId, Round, clanbft_crypto::Digest, Micros)> {
+    match node {
+        AnyNode::Honest(h) => h
+            .deliveries
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::Meta(s, r, m, t) => Some((*s, *r, m.0, *t)),
+                Delivery::Full(..) => None,
+            })
+            .collect(),
+        AnyNode::Byzantine(_) => Vec::new(),
+    }
+}
+
+/// Validity with an honest sender: clan members deliver the payload,
+/// everyone else its digest.
+fn honest_sender_case(variant: Variant) {
+    let n = 10;
+    let clan: Vec<u32> = vec![0, 2, 4, 6, 8];
+    let s = setup(n, Some(clan.clone()), 7);
+    let payload = BytesPayload::new(vec![0xab; 2048]);
+    let digest = clanbft_rbc::TribePayload::rbc_digest(&payload);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            let mut h = honest(&s, i, &variant);
+            if i == 0 {
+                h = h.with_broadcast(Round(1), payload.clone());
+            }
+            AnyNode::Honest(h)
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    for i in 0..n {
+        let node = sim.node(PartyId(i as u32));
+        if clan.contains(&(i as u32)) {
+            let fulls = full_deliveries(node);
+            assert_eq!(fulls.len(), 1, "clan node {i} delivers once");
+            assert_eq!(fulls[0].2, vec![0xab; 2048], "clan node {i} has the payload");
+        } else {
+            let metas = meta_deliveries(node);
+            assert_eq!(metas.len(), 1, "non-clan node {i} delivers once");
+            assert_eq!(metas[0].2, digest, "non-clan node {i} has the digest");
+        }
+    }
+}
+
+#[test]
+fn tribe3_honest_sender() {
+    honest_sender_case(Variant::Three);
+}
+
+#[test]
+fn tribe2_honest_sender() {
+    honest_sender_case(Variant::Two);
+}
+
+/// With the clan set to the whole tribe, the 3-round engine is Bracha's RBC:
+/// everyone delivers the full payload.
+#[test]
+fn whole_tribe_is_bracha() {
+    let n = 7;
+    let s = setup(n, None, 3);
+    let payload = BytesPayload::new(b"bracha says hello".to_vec());
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            let mut h = honest(&s, i, &Variant::Three);
+            if i == 3 {
+                h = h.with_broadcast(Round(0), payload.clone());
+            }
+            AnyNode::Honest(h)
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    for i in 0..n {
+        let fulls = full_deliveries(sim.node(PartyId(i as u32)));
+        assert_eq!(fulls.len(), 1, "node {i}");
+        assert_eq!(fulls[0].0, PartyId(3));
+    }
+}
+
+/// The 2-round variant certifies strictly faster than the 3-round variant on
+/// the same topology (one less message delay in the good case).
+#[test]
+fn two_round_is_faster() {
+    let n = 8;
+    let latest_cert = |variant: Variant| -> Micros {
+        let s = setup(n, Some(vec![0, 1, 2, 3]), 5);
+        let payload = BytesPayload::new(vec![1; 512]);
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| {
+                let mut h = honest(&s, i, &variant);
+                if i == 0 {
+                    h = h.with_broadcast(Round(0), payload.clone());
+                }
+                AnyNode::Honest(h)
+            })
+            .collect();
+        let mut sim = Simulator::new(s.cfg.clone(), nodes);
+        run(&mut sim);
+        (0..n)
+            .filter_map(|i| match sim.node(PartyId(i as u32)) {
+                AnyNode::Honest(h) => h.certified.first().map(|c| c.2),
+                AnyNode::Byzantine(_) => None,
+            })
+            .max()
+            .expect("all certified")
+    };
+    let t2 = latest_cert(Variant::Two);
+    let t3 = latest_cert(Variant::Three);
+    assert!(
+        t2 < t3,
+        "2-round ({t2}) should certify before 3-round ({t3})"
+    );
+}
+
+/// Agreement under an equivocating sender: no two honest parties deliver
+/// different values for the same (source, round).
+fn equivocation_case(variant: Variant) {
+    let n = 10;
+    let clan: Vec<u32> = vec![1, 3, 5, 7, 9];
+    let s = setup(n, Some(clan), 11);
+    let a = BytesPayload::new(vec![0xaa; 256]);
+    let b = BytesPayload::new(vec![0xbb; 256]);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            if i == 1 {
+                AnyNode::Byzantine(ByzantineNode {
+                    me: PartyId(1),
+                    topology: Arc::clone(&s.topology),
+                    behaviour: ByzantineSender::Equivocate {
+                        a: a.clone(),
+                        b: b.clone(),
+                        round: Round(0),
+                    },
+                })
+            } else {
+                AnyNode::Honest(honest(&s, i, &variant))
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    let mut digests = std::collections::HashSet::new();
+    for i in 0..n {
+        for (_, _, data, _) in full_deliveries(sim.node(PartyId(i as u32))) {
+            digests.insert(clanbft_crypto::Digest::of(&data));
+        }
+        for (_, _, d, _) in meta_deliveries(sim.node(PartyId(i as u32))) {
+            digests.insert(d);
+        }
+    }
+    assert!(
+        digests.len() <= 1,
+        "honest parties delivered {} distinct values under equivocation",
+        digests.len()
+    );
+}
+
+#[test]
+fn tribe3_no_equivocation() {
+    equivocation_case(Variant::Three);
+}
+
+#[test]
+fn tribe2_no_equivocation() {
+    equivocation_case(Variant::Two);
+}
+
+/// A selective sender gives the payload to only f_c+1 clan members; the
+/// remaining honest clan members must pull it and still deliver in full.
+fn selective_sender_case(variant: Variant) {
+    let n = 10;
+    let clan: Vec<u32> = vec![0, 1, 2, 3, 4]; // fc = 2, clan quorum = 3
+    let s = setup(n, Some(clan.clone()), 13);
+    let payload = BytesPayload::new(vec![0x5a; 4096]);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                AnyNode::Byzantine(ByzantineNode {
+                    me: PartyId(0),
+                    topology: Arc::clone(&s.topology),
+                    behaviour: ByzantineSender::Selective {
+                        payload: payload.clone(),
+                        // Members 0 (the silent sender itself), 1, 2, 3 get
+                        // the payload: three honest custodians = f_c+1.
+                        full_recipients: 4,
+                        round: Round(2),
+                    },
+                })
+            } else {
+                AnyNode::Honest(honest(&s, i, &variant))
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    // Clan member 4 got no VAL; it must deliver via pull. (Members 1-3 got
+    // it directly; the Byzantine member 0 does not count.)
+    for i in [1u32, 2, 3, 4] {
+        let fulls = full_deliveries(sim.node(PartyId(i)));
+        assert_eq!(fulls.len(), 1, "clan node {i} delivered");
+        assert_eq!(fulls[0].2, vec![0x5a; 4096], "clan node {i} payload intact");
+    }
+    for i in [5u32, 6, 7, 8, 9] {
+        assert_eq!(meta_deliveries(sim.node(PartyId(i))).len(), 1, "node {i}");
+    }
+}
+
+#[test]
+fn tribe3_selective_sender_forces_pull() {
+    selective_sender_case(Variant::Three);
+}
+
+#[test]
+fn tribe2_selective_sender_forces_pull() {
+    selective_sender_case(Variant::Two);
+}
+
+/// A sender that withholds the meta view from one non-clan party: that
+/// party certifies through the tribe's echoes and must pull the vertex
+/// meta before it can deliver the digest.
+fn deprive_meta_case(variant: Variant) {
+    let n = 10;
+    let clan: Vec<u32> = vec![0, 1, 2, 3, 4];
+    let s = setup(n, Some(clan), 29);
+    let payload = BytesPayload::new(vec![0x77; 1024]);
+    let deprived = PartyId(9);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                AnyNode::Byzantine(ByzantineNode {
+                    me: PartyId(0),
+                    topology: Arc::clone(&s.topology),
+                    behaviour: ByzantineSender::DepriveMeta {
+                        payload: payload.clone(),
+                        deprived: vec![deprived],
+                        round: Round(1),
+                    },
+                })
+            } else {
+                AnyNode::Honest(honest(&s, i, &variant))
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    let metas = meta_deliveries(sim.node(deprived));
+    assert_eq!(metas.len(), 1, "deprived node must deliver via meta pull");
+    assert_eq!(
+        metas[0].2,
+        clanbft_rbc::TribePayload::rbc_digest(&payload),
+        "pulled meta matches the certified digest"
+    );
+}
+
+#[test]
+fn tribe3_meta_pull_recovers_deprived_party() {
+    deprive_meta_case(Variant::Three);
+}
+
+#[test]
+fn tribe2_meta_pull_recovers_deprived_party() {
+    deprive_meta_case(Variant::Two);
+}
+
+/// A silent sender produces no deliveries anywhere (and no panics).
+#[test]
+fn silent_sender_delivers_nothing() {
+    let n = 7;
+    let s = setup(n, Some(vec![0, 1, 2]), 17);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                AnyNode::Byzantine(ByzantineNode {
+                    me: PartyId(0),
+                    topology: Arc::clone(&s.topology),
+                    behaviour: ByzantineSender::Silent,
+                })
+            } else {
+                AnyNode::Honest(honest(&s, i, &Variant::Three))
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    for i in 1..n {
+        let node = sim.node(PartyId(i as u32));
+        assert!(full_deliveries(node).is_empty());
+        assert!(meta_deliveries(node).is_empty());
+    }
+}
+
+/// Integrity: concurrent broadcasts from every party in the same round each
+/// deliver exactly once at every honest node.
+#[test]
+fn concurrent_broadcasts_integrity() {
+    let n = 7;
+    let s = setup(n, Some(vec![0, 1, 2, 3]), 19);
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            let payload = BytesPayload::new(vec![i as u8; 128 + i]);
+            AnyNode::Honest(honest(&s, i, &Variant::Two).with_broadcast(Round(5), payload))
+        })
+        .collect();
+    let mut sim = Simulator::new(s.cfg.clone(), nodes);
+    run(&mut sim);
+    for i in 0..n {
+        let node = sim.node(PartyId(i as u32));
+        let total = full_deliveries(node).len() + meta_deliveries(node).len();
+        assert_eq!(total, n, "node {i} delivered every instance exactly once");
+        // No duplicate sources.
+        let mut sources: Vec<PartyId> = full_deliveries(node)
+            .iter()
+            .map(|d| d.0)
+            .chain(meta_deliveries(node).iter().map(|d| d.0))
+            .collect();
+        sources.sort();
+        sources.dedup();
+        assert_eq!(sources.len(), n, "node {i} has duplicate deliveries");
+    }
+}
+
+/// Communication scaling: with a large payload, restricting dissemination to
+/// the clan cuts total bytes roughly by the clan fraction (paper's core
+/// bandwidth claim, O(n_c·ℓ) vs O(n·ℓ)).
+#[test]
+fn clan_dissemination_saves_bandwidth() {
+    let n = 20;
+    let payload_len = 200_000;
+    let bytes_for = |clan: Option<Vec<u32>>| -> u64 {
+        let s = setup(n, clan, 23);
+        let payload = BytesPayload::new(vec![9; payload_len]);
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| {
+                let mut h = honest(&s, i, &Variant::Three);
+                if i == 0 {
+                    h = h.with_broadcast(Round(0), payload.clone());
+                }
+                AnyNode::Honest(h)
+            })
+            .collect();
+        let mut sim = Simulator::new(s.cfg.clone(), nodes);
+        run(&mut sim);
+        sim.stats().total_bytes()
+    };
+    // Clan of 5 (node 0 inside it) vs whole tribe.
+    let clan_bytes = bytes_for(Some(vec![0, 1, 2, 3, 4]));
+    let tribe_bytes = bytes_for(None);
+    // Sender payload bytes: 4 remote clan members vs 19 tribe members.
+    let payload_clan = 4 * payload_len as u64;
+    let payload_tribe = 19 * payload_len as u64;
+    assert!(clan_bytes > payload_clan, "accounting sane");
+    assert!(
+        (tribe_bytes - clan_bytes) as f64 > 0.8 * (payload_tribe - payload_clan) as f64,
+        "clan dissemination saves payload bandwidth: clan={clan_bytes} tribe={tribe_bytes}"
+    );
+}

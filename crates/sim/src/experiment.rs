@@ -1,0 +1,164 @@
+//! High-level experiment presets: one call runs one data point of the
+//! paper's evaluation.
+
+use crate::metrics::{collect_metrics, RunMetrics};
+use crate::tribe::{build_tribe, elect_clan, partition_clans, TribeSpec};
+use clanbft_types::Micros;
+
+/// Which protocol a data point runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// Baseline Sailfish.
+    Sailfish,
+    /// Single-clan Sailfish with the given clan size.
+    SingleClan {
+        /// Elected clan size (paper: 32/60/80 for n = 50/100/150).
+        clan_size: usize,
+    },
+    /// Multi-clan Sailfish with the given clan count.
+    MultiClan {
+        /// Number of disjoint clans (paper: 2 at n = 150).
+        clans: usize,
+    },
+}
+
+impl Proto {
+    /// Short display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Proto::Sailfish => "Sailfish".to_string(),
+            Proto::SingleClan { clan_size } => format!("Single-clan Sailfish (nc={clan_size})"),
+            Proto::MultiClan { clans } => format!("Multi-clan Sailfish (q={clans})"),
+        }
+    }
+}
+
+/// One experiment data point.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Protocol under test.
+    pub proto: Proto,
+    /// Tribe size.
+    pub n: usize,
+    /// Transactions per proposal (paper x-axis parameter).
+    pub txs_per_proposal: u32,
+    /// Rounds to run (measured window excludes warm-up/cool-down).
+    pub rounds: u64,
+    /// Warm-up rounds excluded from measurement.
+    pub warmup_rounds: u64,
+    /// Cool-down rounds excluded at the tail.
+    pub cooldown_rounds: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A data point with evaluation defaults.
+    pub fn new(proto: Proto, n: usize, txs_per_proposal: u32) -> ExperimentSpec {
+        ExperimentSpec {
+            proto,
+            n,
+            txs_per_proposal,
+            rounds: 14,
+            warmup_rounds: 3,
+            cooldown_rounds: 3,
+            seed: 11,
+        }
+    }
+
+    /// The clan sizes the paper uses at failure probability 1e-6 for its
+    /// evaluated system sizes; computed sizes for anything else.
+    pub fn paper_clan_size(n: usize) -> usize {
+        match n {
+            50 => 32,
+            100 => 60,
+            150 => 80,
+            _ => {
+                let f = ((n as u64) - 1) / 3;
+                clanbft_committee::sizing::min_clan_size_tail(
+                    n as u64,
+                    f,
+                    1e-6,
+                    clanbft_committee::hypergeom::Tail::StrictDishonestMajority,
+                )
+                .expect("solvable for f < n/3") as usize
+            }
+        }
+    }
+
+    /// Builds the underlying tribe spec.
+    pub fn tribe_spec(&self) -> TribeSpec {
+        let mut spec = TribeSpec::new(self.n);
+        spec.txs_per_proposal = self.txs_per_proposal;
+        spec.max_round = Some(self.rounds);
+        spec.seed = self.seed;
+        spec.clans = match &self.proto {
+            Proto::Sailfish => None,
+            Proto::SingleClan { clan_size } => {
+                Some(vec![elect_clan(self.n, *clan_size, self.seed)])
+            }
+            Proto::MultiClan { clans } => Some(partition_clans(self.n, *clans, self.seed)),
+        };
+        spec
+    }
+
+    /// Runs the data point and reports metrics.
+    pub fn run(&self) -> RunMetrics {
+        let spec = self.tribe_spec();
+        let mut built = build_tribe(&spec);
+        // Generous wall-clock bound; benign runs drain far earlier because
+        // proposing stops at `rounds`.
+        built.sim.run_until(Micros::from_secs(3_000));
+        collect_metrics(
+            &built.sim,
+            &built.honest,
+            self.warmup_rounds,
+            self.rounds.saturating_sub(self.cooldown_rounds),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clan_sizes() {
+        assert_eq!(ExperimentSpec::paper_clan_size(50), 32);
+        assert_eq!(ExperimentSpec::paper_clan_size(100), 60);
+        assert_eq!(ExperimentSpec::paper_clan_size(150), 80);
+        // A non-tabulated size solves through the committee machinery.
+        let s = ExperimentSpec::paper_clan_size(60);
+        assert!(s > 20 && s < 60);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Proto::Sailfish.label(), "Sailfish");
+        assert!(Proto::SingleClan { clan_size: 80 }.label().contains("80"));
+        assert!(Proto::MultiClan { clans: 2 }.label().contains("q=2"));
+    }
+
+    #[test]
+    fn small_experiment_produces_throughput() {
+        let mut spec = ExperimentSpec::new(Proto::Sailfish, 7, 100);
+        spec.rounds = 8;
+        spec.warmup_rounds = 1;
+        spec.cooldown_rounds = 2;
+        let m = spec.run();
+        assert!(m.committed_txs > 0, "no transactions committed");
+        assert!(m.throughput_tps > 0.0);
+        assert!(m.avg_latency > Micros::ZERO);
+        assert!(m.p99_latency >= m.avg_latency);
+    }
+
+    #[test]
+    fn single_clan_small_experiment() {
+        let mut spec = ExperimentSpec::new(Proto::SingleClan { clan_size: 4 }, 8, 100);
+        spec.rounds = 8;
+        spec.warmup_rounds = 1;
+        spec.cooldown_rounds = 2;
+        let m = spec.run();
+        assert!(m.committed_txs > 0);
+    }
+}

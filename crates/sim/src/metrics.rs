@@ -1,0 +1,151 @@
+//! Throughput and latency measurement, defined as in the paper's §7:
+//!
+//! * **Throughput** — committed transactions per second, counted once a
+//!   transaction's vertex has been committed by *all* non-faulty nodes.
+//! * **Latency** — average time from a transaction's creation to its commit
+//!   by all non-faulty nodes.
+//!
+//! Measurement excludes a warm-up and cool-down window of rounds so that
+//! start-up transients and the truncated tail do not distort steady state.
+
+use clanbft_consensus::{ConsensusMsg, SailfishNode};
+use clanbft_simnet::net::Simulator;
+use clanbft_types::{Micros, PartyId, Round, VertexRef};
+use std::collections::HashMap;
+
+/// Measured outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Transactions committed by every honest node in the window.
+    pub committed_txs: u64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Mean creation→commit-everywhere latency.
+    pub avg_latency: Micros,
+    /// 99th percentile of per-batch latency.
+    pub p99_latency: Micros,
+    /// Span of the measurement window.
+    pub window: Micros,
+    /// Highest round committed by every honest node.
+    pub committed_rounds: u64,
+    /// Total bytes placed on the simulated wire (whole run, all nodes).
+    pub total_bytes: u64,
+}
+
+/// Collects metrics over the honest nodes after a run.
+///
+/// `warmup_rounds` vertices are skipped at the front; vertices above
+/// `last_round` (usually `max_round − cooldown`) are skipped at the back.
+pub fn collect_metrics(
+    sim: &Simulator<ConsensusMsg, SailfishNode>,
+    honest: &[PartyId],
+    warmup_rounds: u64,
+    last_round: u64,
+) -> RunMetrics {
+    assert!(!honest.is_empty(), "need at least one honest node");
+
+    // Commit-everywhere time per vertex: max over honest nodes, only for
+    // vertices all of them committed.
+    let mut commit_times: HashMap<VertexRef, (usize, Micros)> = HashMap::new();
+    for &p in honest {
+        for c in &sim.node(p).committed_log {
+            let e = commit_times.entry(c.vertex).or_insert((0, Micros::ZERO));
+            e.0 += 1;
+            e.1 = e.1.max(c.committed_at);
+        }
+    }
+    let all_committed: HashMap<VertexRef, Micros> = commit_times
+        .into_iter()
+        .filter(|(_, (count, _))| *count == honest.len())
+        .map(|(v, (_, t))| (v, t))
+        .collect();
+
+    let committed_rounds = all_committed
+        .keys()
+        .map(|v| v.round.0)
+        .max()
+        .unwrap_or(0);
+
+    // Batch latency: creation time lives with the proposer.
+    let in_window = |r: Round| r.0 >= warmup_rounds && r.0 <= last_round;
+    let mut txs: u64 = 0;
+    let mut weighted_latency: u128 = 0;
+    let mut latencies: Vec<(Micros, u64)> = Vec::new();
+    let mut t_min = Micros(u64::MAX);
+    let mut t_max = Micros::ZERO;
+    for &p in honest {
+        for b in &sim.node(p).proposed_batches {
+            if !in_window(b.vertex.round) {
+                continue;
+            }
+            let Some(&commit_all) = all_committed.get(&b.vertex) else {
+                continue;
+            };
+            let latency = commit_all.saturating_sub(b.created_at);
+            txs += b.count as u64;
+            weighted_latency += latency.0 as u128 * b.count as u128;
+            latencies.push((latency, b.count as u64));
+            t_min = t_min.min(commit_all);
+            t_max = t_max.max(commit_all);
+        }
+    }
+
+    let window = if txs > 0 { t_max.saturating_sub(t_min) } else { Micros::ZERO };
+    let throughput_tps = if window > Micros::ZERO {
+        txs as f64 / window.as_secs_f64()
+    } else {
+        0.0
+    };
+    let avg_latency = if txs > 0 {
+        Micros((weighted_latency / txs as u128) as u64)
+    } else {
+        Micros::ZERO
+    };
+    let p99_latency = percentile(&mut latencies, 0.99);
+
+    RunMetrics {
+        committed_txs: txs,
+        throughput_tps,
+        avg_latency,
+        p99_latency,
+        window,
+        committed_rounds,
+        total_bytes: sim.stats().total_bytes(),
+    }
+}
+
+/// Weighted percentile over `(latency, weight)` samples.
+fn percentile(samples: &mut [(Micros, u64)], q: f64) -> Micros {
+    if samples.is_empty() {
+        return Micros::ZERO;
+    }
+    samples.sort_by_key(|(l, _)| *l);
+    let total: u64 = samples.iter().map(|(_, w)| *w).sum();
+    let target = (total as f64 * q).ceil() as u64;
+    let mut acc = 0u64;
+    for (l, w) in samples.iter() {
+        acc += w;
+        if acc >= target {
+            return *l;
+        }
+    }
+    samples.last().expect("nonempty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_weighted() {
+        let mut s = vec![
+            (Micros(100), 98),
+            (Micros(200), 1),
+            (Micros(300), 1),
+        ];
+        assert_eq!(percentile(&mut s, 0.5), Micros(100));
+        assert_eq!(percentile(&mut s, 0.99), Micros(200));
+        assert_eq!(percentile(&mut s, 1.0), Micros(300));
+        assert_eq!(percentile(&mut [], 0.5), Micros::ZERO);
+    }
+}

@@ -1,0 +1,253 @@
+//! Building a runnable tribe: topology, keys, placement, fan-out degrees,
+//! workload assignment and fault injection.
+
+use clanbft_committee::ClanAssignment;
+use clanbft_consensus::{ConsensusMsg, NodeConfig, SailfishNode};
+use clanbft_crypto::{Authenticator, Registry, Scheme};
+use clanbft_rbc::ClanTopology;
+use clanbft_simnet::bandwidth::BandwidthModel;
+use clanbft_simnet::cost::CostModel;
+use clanbft_simnet::net::{Partition, SimConfig, Simulator};
+use clanbft_simnet::regions::LatencyMatrix;
+use clanbft_types::{ClanId, Micros, PartyId, TribeParams};
+use std::sync::Arc;
+
+/// Full specification of one simulated tribe.
+#[derive(Clone)]
+pub struct TribeSpec {
+    /// Tribe size.
+    pub n: usize,
+    /// Clan structure: `None` = whole tribe (baseline Sailfish); one entry =
+    /// single-clan; several = multi-clan partition.
+    pub clans: Option<Vec<Vec<PartyId>>>,
+    /// Synthetic transactions per proposal (paper x-axis).
+    pub txs_per_proposal: u32,
+    /// Transaction size in bytes (512 in the paper).
+    pub tx_bytes: u32,
+    /// Stop proposing after this round.
+    pub max_round: Option<u64>,
+    /// Round timeout.
+    pub timeout: Micros,
+    /// RNG seed (keys, schedule, jitter).
+    pub seed: u64,
+    /// Host CPU cost model.
+    pub cost: CostModel,
+    /// Uplink bandwidth model.
+    pub bandwidth: BandwidthModel,
+    /// Crash faults: `(party, time)`.
+    pub crashes: Vec<(PartyId, Micros)>,
+    /// Temporary link cuts.
+    pub partitions: Vec<Partition>,
+    /// Global stabilization time (0 = synchronous from the start).
+    pub gst: Micros,
+    /// Maximum adversarial extra delay per message before GST.
+    pub pre_gst_extra_max: Micros,
+    /// Verify signature bytes for real (tests) or charge cost only (scale).
+    pub verify_sigs: bool,
+    /// Enable the execution layer.
+    pub execute: bool,
+    /// Place all nodes in one region (isolates CPU/bandwidth effects).
+    pub single_region: bool,
+}
+
+impl TribeSpec {
+    /// Evaluation defaults for a tribe of `n`.
+    pub fn new(n: usize) -> TribeSpec {
+        TribeSpec {
+            n,
+            clans: None,
+            txs_per_proposal: 250,
+            tx_bytes: 512,
+            max_round: Some(10),
+            timeout: Micros::from_secs(5),
+            seed: 7,
+            cost: CostModel::default(),
+            bandwidth: BandwidthModel::default(),
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+            gst: Micros::ZERO,
+            pre_gst_extra_max: Micros::ZERO,
+            verify_sigs: false,
+            execute: false,
+            single_region: false,
+        }
+    }
+}
+
+/// A built, ready-to-run tribe.
+pub struct BuiltTribe {
+    /// The simulator holding every node.
+    pub sim: Simulator<ConsensusMsg, SailfishNode>,
+    /// The clan topology used.
+    pub topology: Arc<ClanTopology>,
+    /// Parties that never crash (metrics are taken over these).
+    pub honest: Vec<PartyId>,
+}
+
+/// Elects the paper's evaluation clans (region-balanced) and assembles the
+/// topology for `spec`.
+fn make_topology(spec: &TribeSpec, latency: &LatencyMatrix) -> Arc<ClanTopology> {
+    let tribe = TribeParams::new(spec.n);
+    let topo = match &spec.clans {
+        None => ClanTopology::whole_tribe(tribe),
+        Some(clans) if clans.len() == 1 => {
+            ClanTopology::single_clan(tribe, clans[0].clone())
+        }
+        Some(clans) => ClanTopology::multi_clan(tribe, clans.clone()),
+    };
+    let _ = latency;
+    Arc::new(topo)
+}
+
+/// Region-balanced single-clan election matching the paper's setup.
+pub fn elect_clan(n: usize, clan_size: usize, seed: u64) -> Vec<PartyId> {
+    let latency = LatencyMatrix::evenly_distributed(n);
+    let assignment =
+        ClanAssignment::elect_region_balanced(n, clan_size, &latency.region_indices(), seed);
+    assignment.members(ClanId(0)).to_vec()
+}
+
+/// Region-balanced multi-clan partition matching the paper's setup.
+pub fn partition_clans(n: usize, q: usize, seed: u64) -> Vec<Vec<PartyId>> {
+    let latency = LatencyMatrix::evenly_distributed(n);
+    let assignment =
+        ClanAssignment::partition_region_balanced(n, q, &latency.region_indices(), seed);
+    (0..assignment.clan_count())
+        .map(|c| assignment.members(ClanId(c as u16)).to_vec())
+        .collect()
+}
+
+/// Builds the simulator for `spec`.
+pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
+    let n = spec.n;
+    let latency = if spec.single_region {
+        LatencyMatrix::single_region(n)
+    } else {
+        LatencyMatrix::evenly_distributed(n)
+    };
+    let topology = make_topology(spec, &latency);
+
+    // Bulk fan-out degree: how many peers a node streams blocks to per
+    // round. Block proposers stream to their clan; everyone else only moves
+    // small control messages, for which the degree barely matters — they
+    // get the full-mesh degree as the conservative choice.
+    let bulk_fanout: Vec<usize> = (0..n as u32)
+        .map(|p| {
+            let p = PartyId(p);
+            let clan = topology.clan_for_sender(p);
+            if clan.contains(p) {
+                (clan.len() - 1).max(1)
+            } else {
+                (n - 1).max(1)
+            }
+        })
+        .collect();
+
+    let mut sim_cfg = SimConfig::benign(n, spec.seed);
+    sim_cfg.latency = latency;
+    sim_cfg.bandwidth = spec.bandwidth;
+    sim_cfg.cost = spec.cost;
+    sim_cfg.bulk_fanout = bulk_fanout;
+    for &(p, at) in &spec.crashes {
+        sim_cfg.crash_at[p.idx()] = Some(at);
+    }
+    sim_cfg.partitions = spec.partitions.clone();
+    sim_cfg.gst = spec.gst;
+    sim_cfg.pre_gst_extra_max = spec.pre_gst_extra_max;
+
+    let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, spec.seed);
+    let nodes: Vec<SailfishNode> = keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let me = PartyId(i as u32);
+            let auth = Arc::new(Authenticator::new(i, kp, Arc::clone(&registry)));
+            let mut cfg = NodeConfig::new(me, Arc::clone(&topology));
+            cfg.schedule_seed = spec.seed;
+            cfg.cost = spec.cost;
+            cfg.timeout = spec.timeout;
+            cfg.max_round = spec.max_round;
+            cfg.txs_per_proposal = spec.txs_per_proposal;
+            cfg.tx_bytes = spec.tx_bytes;
+            // Only parties inside their own dissemination clan can validate
+            // and therefore propose transactions (paper §5): under
+            // single-clan that is the designated clan; under multi-clan and
+            // the baseline it is everybody.
+            cfg.is_block_proposer = topology.clan_for_sender(me).contains(me);
+            cfg.verify_sigs = spec.verify_sigs;
+            cfg.execute = spec.execute;
+            SailfishNode::new(cfg, auth)
+        })
+        .collect();
+
+    let honest = (0..n as u32)
+        .map(PartyId)
+        .filter(|p| !spec.crashes.iter().any(|(c, _)| c == p))
+        .collect();
+
+    BuiltTribe { sim: Simulator::new(sim_cfg, nodes), topology, honest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_everyone_proposes() {
+        let spec = TribeSpec::new(7);
+        let built = build_tribe(&spec);
+        assert_eq!(built.topology.clan_count(), 1);
+        assert_eq!(built.topology.clan(0).len(), 7);
+        assert_eq!(built.honest.len(), 7);
+    }
+
+    #[test]
+    fn single_clan_restricts_proposers() {
+        let clan = elect_clan(10, 5, 3);
+        assert_eq!(clan.len(), 5);
+        let mut spec = TribeSpec::new(10);
+        spec.clans = Some(vec![clan.clone()]);
+        let built = build_tribe(&spec);
+        // Clan members stream blocks to 4 peers; outsiders keep full mesh.
+        let fanout = &built.sim.config().bulk_fanout;
+        for p in 0..10u32 {
+            let expected = if clan.contains(&PartyId(p)) { 4 } else { 9 };
+            assert_eq!(fanout[p as usize], expected, "party {p}");
+        }
+    }
+
+    #[test]
+    fn multi_clan_partition_covers() {
+        let clans = partition_clans(12, 3, 9);
+        assert_eq!(clans.len(), 3);
+        let total: usize = clans.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+        let mut spec = TribeSpec::new(12);
+        spec.clans = Some(clans);
+        let built = build_tribe(&spec);
+        assert_eq!(built.topology.clan_count(), 3);
+        // Everyone is in some clan, so everyone streams to its clan only.
+        for k in built.sim.config().bulk_fanout.iter() {
+            assert_eq!(*k, 3);
+        }
+    }
+
+    #[test]
+    fn clan_election_is_region_balanced() {
+        let clan = elect_clan(50, 30, 1);
+        let mut per_region = [0usize; 5];
+        for p in &clan {
+            per_region[p.idx() % 5] += 1;
+        }
+        assert_eq!(per_region, [6, 6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn crashes_excluded_from_honest() {
+        let mut spec = TribeSpec::new(6);
+        spec.crashes = vec![(PartyId(2), Micros::ZERO)];
+        let built = build_tribe(&spec);
+        assert_eq!(built.honest.len(), 5);
+        assert!(!built.honest.contains(&PartyId(2)));
+    }
+}

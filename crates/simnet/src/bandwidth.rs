@@ -1,0 +1,138 @@
+//! The WAN bandwidth model with fan-out-dependent efficiency.
+//!
+//! # Why not a flat per-node bandwidth?
+//!
+//! Under a symmetric "uplink = B bytes/s" model, Sailfish and single-clan
+//! Sailfish reach *identical* saturation throughput: the clan protocol has
+//! `n_c/n` as many proposers but disseminates each block to `n_c/n` as many
+//! receivers, and the two factors cancel exactly (`TPS_max → B/tx_size` for
+//! both). The paper's measurements (Fig. 5/6) show the opposite —
+//! single-clan sustains a large multiple of Sailfish's throughput at
+//! n = 150 — because effective per-node WAN goodput *degrades* as the
+//! number of concurrent bulk destination streams grows (per-flow congestion
+//! windows and retransmissions on lossy WAN paths, per-connection
+//! send/receive buffers, head-of-line blocking, receive-side processing).
+//!
+//! We capture that with a capped power law:
+//!
+//! ```text
+//! B_eff(k) = min(cap, scale · k^(−γ))
+//! ```
+//!
+//! where `k` is the node's *bulk fan-out degree* — how many distinct peers
+//! it streams blocks to each round (a static property of the protocol:
+//! `n−1` for Sailfish, `n_c−1` for clan members under single-clan, own clan
+//! size −1 under multi-clan). The defaults below were calibrated once
+//! against the paper's reported saturation points — ≈140 MB/s at k = 31
+//! (single-clan, n = 50) falling to ≈34 MB/s at k = 149 (Sailfish,
+//! n = 150), i.e. γ ≈ 0.9 — and are held fixed across *all* protocols and
+//! system sizes, so the clan protocols win for the paper's stated reason
+//! (smaller `k`), not through per-protocol tuning. See `DESIGN.md`,
+//! substitution 2, and `EXPERIMENTS.md` for the resulting curves.
+
+use clanbft_types::Micros;
+
+/// Fan-out-aware uplink bandwidth model.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthModel {
+    /// NIC-bound ceiling on effective uplink bandwidth, bytes/second.
+    pub cap_bytes_per_sec: f64,
+    /// Power-law scale: effective bandwidth at fan-out 1 (before the cap).
+    pub scale_bytes_per_sec: f64,
+    /// Power-law exponent of the fan-out degradation.
+    pub gamma: f64,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        // scale = 140 MB/s · 31^0.9 ≈ 3.08 GB/s; anchors:
+        // B(31) ≈ 140, B(49) ≈ 93, B(59) ≈ 79, B(79) ≈ 60, B(149) ≈ 34 MB/s.
+        BandwidthModel {
+            cap_bytes_per_sec: 150.0e6,
+            scale_bytes_per_sec: 3.08e9,
+            gamma: 0.9,
+        }
+    }
+}
+
+impl BandwidthModel {
+    /// An idealized model with flat bandwidth (no fan-out penalty), for
+    /// ablations and unit tests.
+    pub fn flat(bytes_per_sec: f64) -> BandwidthModel {
+        BandwidthModel {
+            cap_bytes_per_sec: bytes_per_sec,
+            scale_bytes_per_sec: f64::INFINITY,
+            gamma: 0.0,
+        }
+    }
+
+    /// Effective uplink bandwidth (bytes/second) at bulk fan-out degree `k`.
+    pub fn effective(&self, k: usize) -> f64 {
+        let k = k.max(1) as f64;
+        let law = self.scale_bytes_per_sec * k.powf(-self.gamma);
+        law.min(self.cap_bytes_per_sec)
+    }
+
+    /// Time to push `bytes` onto the wire at fan-out degree `k`.
+    pub fn serialization_delay(&self, bytes: usize, k: usize) -> Micros {
+        Micros::from_secs_f64(bytes as f64 / self.effective(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_decreases_with_fanout() {
+        let m = BandwidthModel::default();
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 10, 31, 49, 59, 79, 99, 149, 300] {
+            let e = m.effective(k);
+            assert!(e <= prev, "k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn calibration_anchors() {
+        // Anchors derived from the paper's saturation points (DESIGN.md
+        // substitution 2).
+        let m = BandwidthModel::default();
+        let at = |k: usize| m.effective(k) / 1e6;
+        assert!((130.0..150.0).contains(&at(31)), "k=31 → {}", at(31));
+        assert!((85.0..100.0).contains(&at(49)), "k=49 → {}", at(49));
+        assert!((55.0..66.0).contains(&at(79)), "k=79 → {}", at(79));
+        assert!((30.0..38.0).contains(&at(149)), "k=149 → {}", at(149));
+    }
+
+    #[test]
+    fn cap_binds_at_small_fanout() {
+        let m = BandwidthModel::default();
+        assert_eq!(m.effective(1), 150.0e6);
+        assert_eq!(m.effective(5), 150.0e6);
+    }
+
+    #[test]
+    fn flat_model_ignores_fanout() {
+        let m = BandwidthModel::flat(1e8);
+        assert_eq!(m.effective(1), 1e8);
+        assert_eq!(m.effective(1000), 1e8);
+    }
+
+    #[test]
+    fn serialization_delay_scales_linearly() {
+        let m = BandwidthModel::flat(1e6); // 1 MB/s
+        assert_eq!(m.serialization_delay(1_000_000, 1), Micros::from_secs(1));
+        assert_eq!(m.serialization_delay(500, 1), Micros(500));
+        assert_eq!(m.serialization_delay(0, 1), Micros::ZERO);
+    }
+
+    #[test]
+    fn small_messages_are_cheap_even_at_high_fanout() {
+        // A 100-byte ECHO at k=149 must cost well under a millisecond —
+        // the κn² control traffic is not the bottleneck.
+        let m = BandwidthModel::default();
+        assert!(m.serialization_delay(100, 149) < Micros(100));
+    }
+}

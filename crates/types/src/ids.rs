@@ -1,0 +1,191 @@
+//! Identifiers and fault-threshold arithmetic for the tribe and its clans.
+
+use std::fmt;
+
+/// Index of a party within the tribe (`0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PartyId(pub u32);
+
+impl PartyId {
+    /// The index as a `usize`, for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A DAG round number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round.
+    pub const GENESIS: Round = Round(0);
+
+    /// The next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round, or `None` at genesis.
+    pub fn prev(self) -> Option<Round> {
+        self.0.checked_sub(1).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Index of a clan within the tribe's partition (`0..q`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClanId(pub u16);
+
+impl fmt::Display for ClanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Fault-threshold parameters of the whole tribe.
+///
+/// A tribe of `n` parties tolerates `f = ⌊(n−1)/3⌋` Byzantine parties; the
+/// consensus quorum is `2f + 1` (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use clanbft_types::TribeParams;
+///
+/// let t = TribeParams::new(150);
+/// assert_eq!(t.f(), 49);
+/// assert_eq!(t.quorum(), 99);
+/// assert_eq!(t.small_quorum(), 50);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TribeParams {
+    n: usize,
+}
+
+impl TribeParams {
+    /// Creates parameters for a tribe of `n` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` (BFT requires `n ≥ 3f + 1` with `f ≥ 1`).
+    pub fn new(n: usize) -> TribeParams {
+        assert!(n >= 4, "tribe needs at least 4 parties, got {n}");
+        TribeParams { n }
+    }
+
+    /// Total number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum tolerated Byzantine parties, `⌊(n−1)/3⌋`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// The Byzantine quorum `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// The "at least one honest" threshold `f + 1`.
+    pub fn small_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// Iterates over all party ids.
+    pub fn parties(&self) -> impl Iterator<Item = PartyId> {
+        (0..self.n as u32).map(PartyId)
+    }
+}
+
+/// Fault-threshold parameters of a clan (honest majority, paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClanParams {
+    nc: usize,
+}
+
+impl ClanParams {
+    /// Creates parameters for a clan of `nc` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nc < 3` (an honest-majority clan needs `nc ≥ 2f_c + 1`
+    /// with `f_c ≥ 1`).
+    pub fn new(nc: usize) -> ClanParams {
+        assert!(nc >= 3, "clan needs at least 3 parties, got {nc}");
+        ClanParams { nc }
+    }
+
+    /// Clan size.
+    pub fn nc(&self) -> usize {
+        self.nc
+    }
+
+    /// Maximum tolerated Byzantine clan members, `⌈nc/2⌉ − 1 = ⌊(nc−1)/2⌋`.
+    pub fn fc(&self) -> usize {
+        (self.nc - 1) / 2
+    }
+
+    /// The "at least one honest clan member" threshold `f_c + 1`.
+    pub fn clan_quorum(&self) -> usize {
+        self.fc() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tribe_thresholds() {
+        for (n, f) in [(4, 1), (7, 2), (10, 3), (50, 16), (100, 33), (150, 49), (500, 166)] {
+            let t = TribeParams::new(n);
+            assert_eq!(t.f(), f, "n={n}");
+            assert_eq!(t.quorum(), 2 * f + 1);
+            assert_eq!(t.small_quorum(), f + 1);
+            assert!(t.n() > 3 * t.f());
+        }
+    }
+
+    #[test]
+    fn clan_thresholds() {
+        for (nc, fc) in [(3, 1), (32, 15), (60, 29), (80, 39), (184, 91)] {
+            let c = ClanParams::new(nc);
+            assert_eq!(c.fc(), fc, "nc={nc}");
+            assert!(c.nc() > 2 * c.fc(), "honest majority holds");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_tribe_rejected() {
+        TribeParams::new(3);
+    }
+
+    #[test]
+    fn round_navigation() {
+        assert_eq!(Round::GENESIS.next(), Round(1));
+        assert_eq!(Round(5).prev(), Some(Round(4)));
+        assert_eq!(Round::GENESIS.prev(), None);
+    }
+
+    #[test]
+    fn party_iteration() {
+        let t = TribeParams::new(5);
+        let ids: Vec<u32> = t.parties().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

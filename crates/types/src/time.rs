@@ -1,0 +1,117 @@
+//! Simulated time, measured in microseconds from the start of a run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in simulated time (microseconds since run start).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Time zero.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Builds from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Micros {
+        Micros(ms * 1_000)
+    }
+
+    /// Builds from whole seconds.
+    pub fn from_secs(s: u64) -> Micros {
+        Micros(s * 1_000_000)
+    }
+
+    /// Builds from fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(s: f64) -> Micros {
+        Micros((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Micros) -> Micros {
+        Micros(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use [`Micros::saturating_sub`]
+    /// when the ordering is not guaranteed.
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u32> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: u32) -> Micros {
+        Micros(self.0 * rhs as u64)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Micros::from_millis(3), Micros(3_000));
+        assert_eq!(Micros::from_secs(2), Micros(2_000_000));
+        assert_eq!(Micros::from_secs_f64(0.5), Micros(500_000));
+        assert_eq!(Micros::from_secs_f64(-1.0), Micros::ZERO);
+        assert!((Micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Micros(5) + Micros(7), Micros(12));
+        assert_eq!(Micros(7) - Micros(5), Micros(2));
+        assert_eq!(Micros(5).saturating_sub(Micros(7)), Micros::ZERO);
+        let mut t = Micros(1);
+        t += Micros(2);
+        assert_eq!(t, Micros(3));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", Micros(5)), "5us");
+        assert_eq!(format!("{}", Micros(2_500)), "2.50ms");
+        assert_eq!(format!("{}", Micros(1_250_000)), "1.250s");
+    }
+}

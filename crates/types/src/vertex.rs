@@ -1,0 +1,361 @@
+//! The DAG vertex (paper Fig. 4, adapted from Sailfish).
+//!
+//! A vertex is the tribe-wide metadata object: it carries the *digest* of
+//! its block (the block itself travels only to the clan), strong edges to
+//! `≥ 2f+1` vertices of the previous round, weak edges to older orphan
+//! vertices, and — when the proposer is the round leader arriving without a
+//! strong edge to the previous leader vertex — a no-vote or timeout
+//! certificate justifying the omission.
+
+use crate::certs::{NoVoteCert, TimeoutCert};
+use crate::codec::{Decode, DecodeError, Encode, Reader, Writer};
+use crate::ids::{PartyId, Round};
+use clanbft_crypto::{Digest, Hasher};
+
+/// A reference to a vertex by `(round, source)`.
+///
+/// RBC guarantees non-equivocation, so each `(round, source)` pair names at
+/// most one delivered vertex; references therefore do not need to carry the
+/// vertex digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VertexRef {
+    /// Round of the referenced vertex.
+    pub round: Round,
+    /// Proposer of the referenced vertex.
+    pub source: PartyId,
+}
+
+impl Encode for VertexRef {
+    fn encode(&self, w: &mut Writer) {
+        self.round.encode(w);
+        self.source.encode(w);
+    }
+    fn encoded_len(&self) -> usize {
+        12
+    }
+}
+
+impl Decode for VertexRef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(VertexRef { round: Round::decode(r)?, source: PartyId::decode(r)? })
+    }
+}
+
+/// Content-addressed vertex identifier (digest of the encoded header).
+pub type VertexId = Digest;
+
+/// A DAG vertex.
+#[derive(Clone, Debug)]
+pub struct Vertex {
+    /// The round of this vertex in the DAG.
+    pub round: Round,
+    /// The party that broadcast this vertex.
+    pub source: PartyId,
+    /// Digest of the corresponding block of transactions.
+    pub block_digest: Digest,
+    /// Declared wire size of the corresponding block in bytes. Carried so
+    /// parties outside the clan can account throughput without the block.
+    pub block_bytes: u64,
+    /// Number of transactions in the corresponding block.
+    pub block_tx_count: u64,
+    /// References to `≥ 2f+1` vertices of round `round − 1`.
+    pub strong_edges: Vec<VertexRef>,
+    /// References to older vertices not yet reachable from this one.
+    pub weak_edges: Vec<VertexRef>,
+    /// No-vote certificate for `round − 1`, if any.
+    pub nvc: Option<NoVoteCert>,
+    /// Timeout certificate for `round − 1`, if any.
+    pub tc: Option<TimeoutCert>,
+}
+
+impl Vertex {
+    /// Builds a genesis-round vertex (no edges).
+    pub fn genesis(source: PartyId, block_digest: Digest) -> Vertex {
+        Vertex {
+            round: Round::GENESIS,
+            source,
+            block_digest,
+            block_bytes: 0,
+            block_tx_count: 0,
+            strong_edges: Vec::new(),
+            weak_edges: Vec::new(),
+            nvc: None,
+            tc: None,
+        }
+    }
+
+    /// The `(round, source)` reference naming this vertex.
+    pub fn reference(&self) -> VertexRef {
+        VertexRef { round: self.round, source: self.source }
+    }
+
+    /// Content digest of the vertex header (certificates included via their
+    /// rounds and signer sets, not their raw signatures).
+    pub fn id(&self) -> VertexId {
+        let mut h = Hasher::new("clanbft/vertex");
+        h.update_u64(self.round.0);
+        h.update_u64(self.source.0 as u64);
+        h.update(self.block_digest.as_bytes());
+        h.update_u64(self.block_bytes);
+        h.update_u64(self.block_tx_count);
+        h.update_u64(self.strong_edges.len() as u64);
+        for e in &self.strong_edges {
+            h.update_u64(e.round.0);
+            h.update_u64(e.source.0 as u64);
+        }
+        h.update_u64(self.weak_edges.len() as u64);
+        for e in &self.weak_edges {
+            h.update_u64(e.round.0);
+            h.update_u64(e.source.0 as u64);
+        }
+        h.update_u64(self.nvc.as_ref().map_or(u64::MAX, |c| c.round.0));
+        h.update_u64(self.tc.as_ref().map_or(u64::MAX, |c| c.round.0));
+        h.finalize()
+    }
+
+    /// True iff this vertex has a strong edge to `target`.
+    pub fn has_strong_edge_to(&self, target: &VertexRef) -> bool {
+        self.strong_edges.contains(target)
+    }
+
+    /// Validates structural invariants against tribe parameters.
+    ///
+    /// Genesis vertices carry no edges; later vertices need at least
+    /// `quorum` strong edges, all pointing at the immediately preceding
+    /// round, and weak edges must point strictly further back.
+    pub fn validate_shape(&self, quorum: usize) -> Result<(), VertexShapeError> {
+        if self.round == Round::GENESIS {
+            if !self.strong_edges.is_empty() || !self.weak_edges.is_empty() {
+                return Err(VertexShapeError::GenesisWithEdges);
+            }
+            return Ok(());
+        }
+        if self.strong_edges.len() < quorum {
+            return Err(VertexShapeError::TooFewStrongEdges {
+                got: self.strong_edges.len(),
+                need: quorum,
+            });
+        }
+        let prev = self.round.prev().expect("non-genesis round has a predecessor");
+        for e in &self.strong_edges {
+            if e.round != prev {
+                return Err(VertexShapeError::StrongEdgeWrongRound { edge: *e });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.strong_edges {
+            if !seen.insert(e.source) {
+                return Err(VertexShapeError::DuplicateStrongEdge { source: e.source });
+            }
+        }
+        for e in &self.weak_edges {
+            if e.round >= prev {
+                return Err(VertexShapeError::WeakEdgeTooRecent { edge: *e });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural validation failures for a vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VertexShapeError {
+    /// A genesis vertex carried edges.
+    GenesisWithEdges,
+    /// Fewer than `2f+1` strong edges.
+    TooFewStrongEdges {
+        /// Strong edges present.
+        got: usize,
+        /// Required quorum.
+        need: usize,
+    },
+    /// A strong edge does not point at round `r − 1`.
+    StrongEdgeWrongRound {
+        /// The offending edge.
+        edge: VertexRef,
+    },
+    /// Two strong edges name the same source.
+    DuplicateStrongEdge {
+        /// The duplicated source.
+        source: PartyId,
+    },
+    /// A weak edge points at round `r − 1` or later.
+    WeakEdgeTooRecent {
+        /// The offending edge.
+        edge: VertexRef,
+    },
+}
+
+impl std::fmt::Display for VertexShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VertexShapeError::GenesisWithEdges => write!(f, "genesis vertex carries edges"),
+            VertexShapeError::TooFewStrongEdges { got, need } => {
+                write!(f, "only {got} strong edges, need {need}")
+            }
+            VertexShapeError::StrongEdgeWrongRound { edge } => {
+                write!(f, "strong edge to {} {} not in previous round", edge.round, edge.source)
+            }
+            VertexShapeError::DuplicateStrongEdge { source } => {
+                write!(f, "duplicate strong edge to {source}")
+            }
+            VertexShapeError::WeakEdgeTooRecent { edge } => {
+                write!(f, "weak edge to {} {} too recent", edge.round, edge.source)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VertexShapeError {}
+
+impl Encode for Vertex {
+    fn encode(&self, w: &mut Writer) {
+        self.round.encode(w);
+        self.source.encode(w);
+        self.block_digest.encode(w);
+        w.put_u64(self.block_bytes);
+        w.put_u64(self.block_tx_count);
+        self.strong_edges.encode(w);
+        self.weak_edges.encode(w);
+        self.nvc.encode(w);
+        self.tc.encode(w);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.round.encoded_len()
+            + self.source.encoded_len()
+            + 32
+            + 8
+            + 8
+            + self.strong_edges.encoded_len()
+            + self.weak_edges.encoded_len()
+            + self.nvc.as_ref().map_or(1, |c| 1 + c.encoded_len())
+            + self.tc.as_ref().map_or(1, |c| 1 + c.encoded_len())
+    }
+}
+
+impl Decode for Vertex {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Vertex {
+            round: Round::decode(r)?,
+            source: PartyId::decode(r)?,
+            block_digest: Digest::decode(r)?,
+            block_bytes: r.get_u64()?,
+            block_tx_count: r.get_u64()?,
+            strong_edges: Vec::<VertexRef>::decode(r)?,
+            weak_edges: Vec::<VertexRef>::decode(r)?,
+            nvc: Option::<NoVoteCert>::decode(r)?,
+            tc: Option::<TimeoutCert>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(round: u64, sources: &[u32]) -> Vec<VertexRef> {
+        sources
+            .iter()
+            .map(|&s| VertexRef { round: Round(round), source: PartyId(s) })
+            .collect()
+    }
+
+    fn sample_vertex() -> Vertex {
+        Vertex {
+            round: Round(5),
+            source: PartyId(2),
+            block_digest: Digest::of(b"block"),
+            block_bytes: 3_072_000,
+            block_tx_count: 6000,
+            strong_edges: refs(4, &[0, 1, 2]),
+            weak_edges: refs(2, &[3]),
+            nvc: None,
+            tc: None,
+        }
+    }
+
+    #[test]
+    fn valid_shape_accepted() {
+        assert_eq!(sample_vertex().validate_shape(3), Ok(()));
+    }
+
+    #[test]
+    fn too_few_strong_edges_rejected() {
+        let v = sample_vertex();
+        assert_eq!(
+            v.validate_shape(4),
+            Err(VertexShapeError::TooFewStrongEdges { got: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn wrong_round_strong_edge_rejected() {
+        let mut v = sample_vertex();
+        v.strong_edges[1].round = Round(3);
+        assert!(matches!(
+            v.validate_shape(3),
+            Err(VertexShapeError::StrongEdgeWrongRound { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_strong_edge_rejected() {
+        let mut v = sample_vertex();
+        v.strong_edges[2].source = PartyId(0);
+        assert_eq!(
+            v.validate_shape(3),
+            Err(VertexShapeError::DuplicateStrongEdge { source: PartyId(0) })
+        );
+    }
+
+    #[test]
+    fn weak_edge_to_previous_round_rejected() {
+        let mut v = sample_vertex();
+        v.weak_edges[0].round = Round(4);
+        assert!(matches!(
+            v.validate_shape(3),
+            Err(VertexShapeError::WeakEdgeTooRecent { .. })
+        ));
+    }
+
+    #[test]
+    fn genesis_shape() {
+        let g = Vertex::genesis(PartyId(0), Digest::ZERO);
+        assert_eq!(g.validate_shape(3), Ok(()));
+        let mut bad = g.clone();
+        bad.strong_edges = refs(0, &[1, 2, 3]);
+        assert_eq!(bad.validate_shape(3), Err(VertexShapeError::GenesisWithEdges));
+    }
+
+    #[test]
+    fn id_changes_with_content() {
+        let v = sample_vertex();
+        let mut v2 = v.clone();
+        v2.block_digest = Digest::of(b"other block");
+        assert_ne!(v.id(), v2.id());
+        let mut v3 = v.clone();
+        v3.weak_edges.clear();
+        assert_ne!(v.id(), v3.id());
+        assert_eq!(v.id(), sample_vertex().id());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let v = sample_vertex();
+        let back = Vertex::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(back.id(), v.id());
+        assert_eq!(back.strong_edges, v.strong_edges);
+    }
+
+    #[test]
+    fn vertex_is_small_on_the_wire() {
+        // The paper's premise: a vertex is metadata, ℓ >> κn. Even with 99
+        // strong edges (n=150), the vertex stays around a kilobyte.
+        let mut v = sample_vertex();
+        v.strong_edges = (0..99)
+            .map(|s| VertexRef { round: Round(4), source: PartyId(s) })
+            .collect();
+        assert!(v.encoded_len() < 2048, "vertex is {} bytes", v.encoded_len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Clan planner: the statistical machinery of paper §2/§6.2 as a tool.
+//!
+//! ```text
+//! cargo run --release --example clan_planner [n] [mu_bits]
+//! ```
+//!
+//! For a tribe of `n` (default 150) and a failure budget of `2^-mu`
+//! (default 20 bits ≈ 1e-6), prints: the minimal single-clan size under
+//! both tail conventions, the exact failure probability at that size, and
+//! how many disjoint clans the tribe supports.
+
+use clanbft_committee::hypergeom::{dishonest_majority_prob, strict_dishonest_majority_prob, Tail};
+use clanbft_committee::multiclan::{even_clan_sizes, max_clan_count, partition_dishonest_prob};
+use clanbft_committee::sizing::min_clan_size_tail;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let mu: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let threshold = 2f64.powi(-(mu as i32));
+    let f = (n - 1) / 3;
+
+    println!("tribe n = {n}, Byzantine bound f = {f}, failure budget 2^-{mu} ≈ {threshold:.2e}\n");
+
+    println!("single clan:");
+    for (name, tail) in [
+        ("Eq. 1 as printed (tie = failure)", Tail::NoHonestMajority),
+        ("strict majority (paper's concrete numbers)", Tail::StrictDishonestMajority),
+    ] {
+        match min_clan_size_tail(n, f, threshold, tail) {
+            Some(nc) => {
+                let p = match tail {
+                    Tail::NoHonestMajority => dishonest_majority_prob(n, f, nc),
+                    Tail::StrictDishonestMajority => strict_dishonest_majority_prob(n, f, nc),
+                };
+                println!("  {name}: minimal clan size {nc} (failure prob {p:.3e})");
+            }
+            None => println!("  {name}: unsatisfiable"),
+        }
+    }
+
+    println!("\nmulti-clan partitions:");
+    for q in 2..=5u64 {
+        if n / q < 3 {
+            break;
+        }
+        let sizes = even_clan_sizes(n, q);
+        let p = partition_dishonest_prob(n, f, &sizes);
+        let verdict = if p <= threshold { "OK" } else { "exceeds budget" };
+        println!("  q = {q} (sizes {sizes:?}): failure prob {p:.3e} [{verdict}]");
+    }
+
+    let (q, sizes, p) = max_clan_count(n, f, threshold);
+    println!("\nbest partition within budget: q = {q}, sizes {sizes:?}, failure prob {p:.3e}");
+}

@@ -1,0 +1,158 @@
+//! Fault injection across the stack: crash faults up to `f`, pre-GST
+//! asynchrony, and link partitions — the paper's partial-synchrony model
+//! exercised end to end.
+
+use clanbft_sim::{build_tribe, TribeSpec};
+use clanbft_simnet::net::Partition;
+use clanbft_types::{Micros, PartyId, Round, VertexRef};
+
+fn order_of(node: &clanbft_consensus::SailfishNode) -> Vec<VertexRef> {
+    node.committed_log.iter().map(|c| c.vertex).collect()
+}
+
+fn assert_agreement(built: &clanbft_sim::BuiltTribe) {
+    let longest = built
+        .honest
+        .iter()
+        .map(|&p| order_of(built.sim.node(p)))
+        .max_by_key(Vec::len)
+        .expect("honest nodes");
+    for &p in &built.honest {
+        let o = order_of(built.sim.node(p));
+        assert_eq!(&longest[..o.len()], o.as_slice(), "divergence at {p}");
+    }
+}
+
+#[test]
+fn tolerates_f_crashes_from_start() {
+    // n = 7 tolerates f = 2 crashes. Crash two parties (including one that
+    // leads early rounds) before the run starts.
+    let mut spec = TribeSpec::new(7);
+    spec.crashes = vec![(PartyId(0), Micros::ZERO), (PartyId(3), Micros::ZERO)];
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(8);
+    spec.timeout = Micros::from_millis(1_200);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    assert_agreement(&built);
+    for &p in &built.honest {
+        let node = built.sim.node(p);
+        assert!(node.round() >= Round(8), "{p} stuck at {}", node.round());
+        assert!(node.committed_txs() > 0, "{p} committed nothing");
+        // Crashed parties never contribute vertices.
+        assert!(order_of(node)
+            .iter()
+            .all(|v| v.source != PartyId(0) && v.source != PartyId(3)));
+    }
+}
+
+#[test]
+fn staggered_crashes_preserve_agreement() {
+    let mut spec = TribeSpec::new(7);
+    spec.crashes = vec![
+        (PartyId(1), Micros::from_millis(500)),
+        (PartyId(5), Micros::from_millis(1_500)),
+    ];
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(10);
+    spec.timeout = Micros::from_millis(1_200);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    assert_agreement(&built);
+    for &p in &built.honest {
+        assert!(built.sim.node(p).round() >= Round(10));
+    }
+}
+
+#[test]
+fn crashed_clan_members_do_not_block_single_clan() {
+    // Clan of 5 in a 10-party tribe; crash 2 clan members (f_c = 2). The
+    // protocol must keep committing: echo thresholds need f_c+1 = 3 clan
+    // echoes and 3 honest clan members remain.
+    let clan: Vec<PartyId> = [0u32, 2, 4, 6, 8].map(PartyId).to_vec();
+    let mut spec = TribeSpec::new(10);
+    spec.clans = Some(vec![clan.clone()]);
+    spec.crashes = vec![(PartyId(2), Micros::ZERO), (PartyId(6), Micros::ZERO)];
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(8);
+    spec.timeout = Micros::from_millis(1_500);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    assert_agreement(&built);
+    let node0 = built.sim.node(PartyId(0));
+    assert!(node0.committed_txs() > 0, "clan crashes blocked all commits");
+}
+
+#[test]
+fn pre_gst_asynchrony_then_progress() {
+    // Before GST (first 3 s) the adversary adds up to 1.5 s of delay per
+    // message; afterwards the network stabilizes. Agreement must hold
+    // throughout and the tribe must finish its rounds after GST.
+    let mut spec = TribeSpec::new(7);
+    spec.txs_per_proposal = 30;
+    spec.max_round = Some(6);
+    spec.timeout = Micros::from_millis(2_000);
+    spec.gst = Micros::from_secs(3);
+    spec.pre_gst_extra_max = Micros::from_millis(1_500);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    assert_agreement(&built);
+    for &p in &built.honest {
+        let node = built.sim.node(p);
+        assert!(node.round() >= Round(6), "{p} stuck at {}", node.round());
+        assert!(node.committed_txs() > 0, "{p} committed nothing");
+    }
+}
+
+#[test]
+fn partition_heals_and_tribe_recovers() {
+    // Cut party 0 off from everyone for the first 2.5 s, then heal (TCP
+    // semantics: in-flight messages are delivered after healing). The tribe
+    // makes progress without party 0 via timeouts when it leads, and party
+    // 0 catches up to the same order after rejoining.
+    let mut spec = TribeSpec::new(7);
+    spec.txs_per_proposal = 30;
+    spec.max_round = Some(8);
+    spec.timeout = Micros::from_millis(1_200);
+    spec.partitions = (1..7u32)
+        .map(|other| Partition {
+            a: PartyId(0),
+            b: PartyId(other),
+            from: Micros::ZERO,
+            until: Micros::from_millis(2_500),
+        })
+        .collect();
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    assert_agreement(&built);
+    let node0 = built.sim.node(PartyId(0));
+    assert!(
+        node0.round() >= Round(8),
+        "partitioned node failed to catch up: {}",
+        node0.round()
+    );
+    assert!(!node0.committed_log.is_empty(), "partitioned node never committed");
+}
+
+#[test]
+fn asynchrony_with_crashes_combined() {
+    // The adversary's full partial-synchrony budget at once: pre-GST delays
+    // plus f = 2 crashes on a 7-party tribe.
+    let mut spec = TribeSpec::new(7);
+    spec.crashes = vec![(PartyId(2), Micros::ZERO), (PartyId(4), Micros::from_secs(1))];
+    spec.txs_per_proposal = 25;
+    spec.max_round = Some(6);
+    spec.timeout = Micros::from_millis(2_000);
+    spec.gst = Micros::from_secs(2);
+    spec.pre_gst_extra_max = Micros::from_millis(1_000);
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(600));
+    assert_agreement(&built);
+    for &p in &built.honest {
+        assert!(
+            built.sim.node(p).round() >= Round(6),
+            "{p} stuck at {}",
+            built.sim.node(p).round()
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants.
+
+use clanbft_committee::bignum::BigUint;
+use clanbft_committee::binomial::binomial;
+use clanbft_committee::hypergeom::dishonest_majority_prob;
+use clanbft_crypto::{Bitmap, Digest};
+use clanbft_dag::{Dag, InsertOutcome};
+use clanbft_types::certs::TimeoutCert;
+use clanbft_types::{
+    Block, Decode, Encode, Micros, PartyId, Round, TribeParams, TxBatch, Vertex, VertexRef,
+};
+use proptest::prelude::*;
+
+// --- codec roundtrips -------------------------------------------------------
+
+fn arb_batch() -> impl Strategy<Value = TxBatch> {
+    (0u32..4u32, 0u64..1_000_000, 0u32..50, 1u32..64, 0u64..1_000_000).prop_map(
+        |(creator, first_seq, count, tx_bytes, at)|
+
+        TxBatch::with_payload(
+            PartyId(creator),
+            first_seq,
+            count,
+            tx_bytes,
+            Micros(at),
+            vec![0xabu8; (count * tx_bytes) as usize],
+        ),
+    )
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    (0u32..8, 0u64..100, prop::collection::vec(arb_batch(), 0..4))
+        .prop_map(|(p, r, batches)| Block::new(PartyId(p), Round(r), batches))
+}
+
+fn arb_vertex() -> impl Strategy<Value = Vertex> {
+    (
+        1u64..50,
+        0u32..16,
+        prop::collection::vec(0u32..16, 3..8),
+        prop::collection::vec((0u64..40, 0u32..16), 0..3),
+    )
+        .prop_map(|(round, source, strong, weak)| Vertex {
+            round: Round(round),
+            source: PartyId(source),
+            block_digest: Digest::of(&[round as u8, source as u8]),
+            block_bytes: round * 1000,
+            block_tx_count: round,
+            strong_edges: strong
+                .into_iter()
+                .map(|s| VertexRef { round: Round(round - 1), source: PartyId(s) })
+                .collect(),
+            weak_edges: weak
+                .into_iter()
+                .filter(|(r, _)| *r + 1 < round)
+                .map(|(r, s)| VertexRef { round: Round(r), source: PartyId(s) })
+                .collect(),
+            nvc: None,
+            tc: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_codec_roundtrip(block in arb_block()) {
+        let bytes = block.to_bytes();
+        let back = Block::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &block);
+        prop_assert_eq!(back.digest(), block.digest());
+    }
+
+    #[test]
+    fn vertex_codec_roundtrip(vertex in arb_vertex()) {
+        let bytes = vertex.to_bytes();
+        let back = Vertex::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.id(), vertex.id());
+        prop_assert_eq!(back.strong_edges, vertex.strong_edges);
+        prop_assert_eq!(back.weak_edges, vertex.weak_edges);
+    }
+
+    #[test]
+    fn vertex_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Hostile input must produce an error, never a panic.
+        let _ = Vertex::from_bytes(&bytes);
+        let _ = Block::from_bytes(&bytes);
+        let _ = TimeoutCert::from_bytes(&bytes);
+    }
+
+    // --- bitmap model test --------------------------------------------------
+
+    #[test]
+    fn bitmap_matches_hashset_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 1..100)) {
+        let mut bitmap = Bitmap::new(200);
+        let mut model = std::collections::HashSet::new();
+        for (idx, _probe) in ops {
+            let fresh_bm = bitmap.set(idx);
+            let fresh_model = model.insert(idx);
+            prop_assert_eq!(fresh_bm, fresh_model);
+            prop_assert_eq!(bitmap.count(), model.len());
+        }
+        let from_iter: Vec<usize> = bitmap.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_iter, from_model);
+    }
+
+    // --- bignum / combinatorics ---------------------------------------------
+
+    #[test]
+    fn bignum_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+        let big_a = BigUint::from_u64(a);
+        let big_b = BigUint::from_u64(b);
+        let sum = big_a.add(&big_b);
+        prop_assert_eq!(sum.sub(&big_b), big_a);
+        prop_assert_eq!(sum.to_decimal(), (a as u128 + b as u128).to_string());
+    }
+
+    #[test]
+    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        prop_assert_eq!(prod.to_decimal(), (a as u128 * b as u128).to_string());
+    }
+
+    #[test]
+    fn binomial_symmetry_and_bounds(n in 1u64..120, k in 0u64..120) {
+        if k <= n {
+            prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+            prop_assert!(!binomial(n, k).is_zero());
+        } else {
+            prop_assert!(binomial(n, k).is_zero());
+        }
+    }
+
+    #[test]
+    fn hypergeometric_is_a_probability(n in 6u64..80, nc_frac in 1u64..99) {
+        let f = (n - 1) / 3;
+        let nc = (n * nc_frac / 100).clamp(1, n);
+        let p = dishonest_majority_prob(n, f, nc);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+
+    #[test]
+    fn clan_monotone_in_faults(n in 10u64..60, nc in 4u64..10) {
+        // More Byzantine parties can only make a clan draw worse.
+        let mut prev = -1.0f64;
+        for f in 0..=(n - 1) / 3 {
+            let p = dishonest_majority_prob(n, f, nc.min(n));
+            prop_assert!(p >= prev - 1e-12, "f={} p={} prev={}", f, p, prev);
+            prev = p;
+        }
+    }
+
+    // --- DAG invariants -------------------------------------------------------
+
+    #[test]
+    fn dag_insertion_order_is_irrelevant(seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        // Build a fixed 4-party, 4-round DAG; insert in random order; the
+        // final state and emitted order must be identical.
+        let mk_vertices = || -> Vec<Vertex> {
+            let mut vs = Vec::new();
+            for s in 0..4u32 {
+                vs.push(Vertex {
+                    round: Round(0),
+                    source: PartyId(s),
+                    block_digest: Digest::of(&[0, s as u8]),
+                    block_bytes: 0,
+                    block_tx_count: 0,
+                    strong_edges: vec![],
+                    weak_edges: vec![],
+                    nvc: None,
+                    tc: None,
+                });
+            }
+            for r in 1..4u64 {
+                for s in 0..4u32 {
+                    vs.push(Vertex {
+                        round: Round(r),
+                        source: PartyId(s),
+                        block_digest: Digest::of(&[r as u8, s as u8]),
+                        block_bytes: 0,
+                        block_tx_count: 0,
+                        strong_edges: (0..4)
+                            .map(|t| VertexRef { round: Round(r - 1), source: PartyId(t) })
+                            .collect(),
+                        weak_edges: vec![],
+                        nvc: None,
+                        tc: None,
+                    });
+                }
+            }
+            vs
+        };
+        let reference_order = {
+            let mut dag = Dag::new(TribeParams::new(4));
+            for v in mk_vertices() {
+                dag.insert(v);
+            }
+            dag.take_causal_history(&VertexRef { round: Round(3), source: PartyId(1) })
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut shuffled = mk_vertices();
+        shuffled.shuffle(&mut rng);
+        let mut dag = Dag::new(TribeParams::new(4));
+        let mut live_total = 0;
+        for v in shuffled {
+            if let InsertOutcome::Live(l) = dag.insert(v) {
+                live_total += l.len();
+            }
+        }
+        prop_assert_eq!(live_total, 16, "every vertex eventually live");
+        let order = dag.take_causal_history(&VertexRef { round: Round(3), source: PartyId(1) });
+        prop_assert_eq!(order, reference_order);
+    }
+}
+
+/// Monte-Carlo bridge between the elector and the exact hypergeometric
+/// math: the empirical dishonest-majority frequency of uniformly elected
+/// clans must match Eq. 1 within sampling error.
+#[test]
+fn election_frequency_matches_hypergeometric() {
+    use clanbft_committee::ClanAssignment;
+    use clanbft_types::ClanId;
+
+    let (n, f, nc) = (20usize, 6usize, 5u64);
+    // Byzantine parties are 0..6 by convention; election is uniform so the
+    // labels do not matter.
+    let exact = dishonest_majority_prob(n as u64, f as u64, nc);
+    let trials = 20_000u32;
+    let mut bad = 0u32;
+    for seed in 0..trials {
+        let a = ClanAssignment::elect_uniform(n, nc as usize, seed as u64);
+        let byz_in_clan = a
+            .members(ClanId(0))
+            .iter()
+            .filter(|p| (p.idx()) < f)
+            .count() as u64;
+        if byz_in_clan >= nc.div_ceil(2) {
+            bad += 1;
+        }
+    }
+    let freq = bad as f64 / trials as f64;
+    // exact ≈ 0.04 here; 20k trials give ~0.0014 std dev. Allow 4 sigma.
+    let sigma = (exact * (1.0 - exact) / trials as f64).sqrt();
+    assert!(
+        (freq - exact).abs() < 4.0 * sigma + 1e-9,
+        "empirical {freq} vs exact {exact} (sigma {sigma})"
+    );
+}
