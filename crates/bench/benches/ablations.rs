@@ -28,10 +28,7 @@ fn rbc_round_ablation() {
     let n = 20usize;
     let clan: Vec<PartyId> = (0..8u32).map(|i| PartyId(2 * i)).collect();
     for two_round in [false, true] {
-        let topology = Arc::new(ClanTopology::single_clan(
-            TribeParams::new(n),
-            clan.clone(),
-        ));
+        let topology = Arc::new(ClanTopology::single_clan(TribeParams::new(n), clan.clone()));
         let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 3);
         let payload = BytesPayload::new(vec![7u8; 512 * 1024]);
         let nodes: Vec<AnyNode<BytesPayload>> = keypairs
@@ -63,7 +60,11 @@ fn rbc_round_ablation() {
             .expect("certified everywhere");
         println!(
             "  {}: last party certified at {worst}",
-            if two_round { "2-round (Fig. 3)" } else { "3-round (Fig. 2)" }
+            if two_round {
+                "2-round (Fig. 3)"
+            } else {
+                "3-round (Fig. 2)"
+            }
         );
     }
     println!();
@@ -131,7 +132,11 @@ fn strawman_measured_ablation() {
                     topology: Arc::clone(&topology),
                     slot_interval: Micros::from_millis(300),
                     max_slots: 20,
-                    txs_per_block: if topology.clan_for_sender(me).contains(me) { 50 } else { 0 },
+                    txs_per_block: if topology.clan_for_sender(me).contains(me) {
+                        50
+                    } else {
+                        0
+                    },
                     tx_bytes: 512,
                 },
                 auth,
@@ -156,10 +161,18 @@ fn strawman_measured_ablation() {
     let mut built = build_tribe(&spec);
     built.sim.run_until(Micros::from_secs(60));
     let m = collect_metrics(&built.sim, &built.honest, 2, 10);
-    println!("  straw-man PoA pipeline:     avg latency {:.0} ms", strawman_avg * 1e3);
-    println!("  single-clan Sailfish:       avg latency {:.0} ms", m.avg_latency.as_millis_f64());
-    println!("  (the pipelined design folds dissemination into consensus — paper §1)
-");
+    println!(
+        "  straw-man PoA pipeline:     avg latency {:.0} ms",
+        strawman_avg * 1e3
+    );
+    println!(
+        "  single-clan Sailfish:       avg latency {:.0} ms",
+        m.avg_latency.as_millis_f64()
+    );
+    println!(
+        "  (the pipelined design folds dissemination into consensus — paper §1)
+"
+    );
 }
 
 /// The §1 straw-man latency arithmetic on the simulated network's δ.
@@ -179,9 +192,18 @@ fn strawman_latency_ablation() {
     }
     let delta = sum / count as f64;
     println!("  mean one-way δ over Table 1 placement: {delta:.1} ms");
-    println!("  straw-man (separate PoA layer): 2δ (PoA) + 1δ (queueing) + 3δ (commit) = {:.0} ms", 6.0 * delta);
-    println!("  pipelined single-clan Sailfish:                         1 RBC + 1δ = {:.0} ms", 3.0 * delta);
-    println!("  Arete-style (PoA + Jolteon 5δ):                                 8δ = {:.0} ms", 8.0 * delta);
+    println!(
+        "  straw-man (separate PoA layer): 2δ (PoA) + 1δ (queueing) + 3δ (commit) = {:.0} ms",
+        6.0 * delta
+    );
+    println!(
+        "  pipelined single-clan Sailfish:                         1 RBC + 1δ = {:.0} ms",
+        3.0 * delta
+    );
+    println!(
+        "  Arete-style (PoA + Jolteon 5δ):                                 8δ = {:.0} ms",
+        8.0 * delta
+    );
 }
 
 fn main() {

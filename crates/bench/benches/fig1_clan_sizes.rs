@@ -26,6 +26,10 @@ fn main() {
     }
     println!(
         "\npaper anchor: n=500 → clan 184 (§1); our strict-tail minimum at n=500 is {}",
-        strict.iter().find(|r| r.n == 500).expect("n=500 in series").clan_size
+        strict
+            .iter()
+            .find(|r| r.n == 500)
+            .expect("n=500 in series")
+            .clan_size
     );
 }

@@ -15,7 +15,9 @@ use clanbft_sim::Proto;
 
 fn loads(n: usize) -> Vec<u32> {
     if full_scale() {
-        vec![1, 32, 63, 125, 250, 500, 1000, 1500, 2000, 3000, 4000, 5000, 6000]
+        vec![
+            1, 32, 63, 125, 250, 500, 1000, 1500, 2000, 3000, 4000, 5000, 6000,
+        ]
     } else if n >= 150 {
         // n = 150 points cost minutes each on one core; three loads span
         // the pre-saturation, knee and post-saturation regimes.

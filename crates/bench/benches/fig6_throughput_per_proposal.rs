@@ -13,7 +13,11 @@ use clanbft_sim::Proto;
 fn main() {
     let n = 150;
     let rounds = if full_scale() { 14 } else { 8 };
-    let loads: Vec<u32> = if full_scale() { vec![250, 500, 1000, 1500] } else { vec![250, 1000] };
+    let loads: Vec<u32> = if full_scale() {
+        vec![250, 500, 1000, 1500]
+    } else {
+        vec![250, 1000]
+    };
     println!("=== Figure 6: throughput vs txs/proposal at n = {n} ===\n");
     for proto in [
         Proto::Sailfish,
@@ -22,7 +26,11 @@ fn main() {
     ] {
         for &txs in &loads {
             let m = run_point(proto.clone(), n, txs, rounds);
-            let saturated = if m.avg_latency.as_secs_f64() > 4.0 { "  [saturated]" } else { "" };
+            let saturated = if m.avg_latency.as_secs_f64() > 4.0 {
+                "  [saturated]"
+            } else {
+                ""
+            };
             println!("{}{}", fmt_point(&proto.label(), txs, &m), saturated);
         }
         println!();

@@ -1,65 +1,74 @@
-//! Criterion micro-benchmarks for the substrates: hashing, signatures,
-//! combinatorics, bitmap quorum tracking and DAG operations.
+//! Micro-benchmarks for the substrates: hashing, signatures, combinatorics,
+//! bitmap quorum tracking and DAG operations, on the in-tree timing harness
+//! (`clanbft_bench::timing` — warmup, calibrated batches, mean/p50/p99).
 
+use clanbft_bench::timing::Bench;
 use clanbft_committee::binomial::binomial;
 use clanbft_committee::hypergeom::dishonest_majority_prob;
-use clanbft_crypto::{schnorr, Bitmap, Digest, Keypair, Registry, Scheme};
 use clanbft_crypto::scalar::Scalar;
+use clanbft_crypto::{schnorr, Bitmap, ClanRng, Digest, Keypair, Registry, Scheme};
 use clanbft_dag::Dag;
 use clanbft_types::{PartyId, Round, TribeParams, Vertex, VertexRef};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_sha256(c: &mut Criterion) {
+fn bench_sha256(b: &Bench) {
     let small = vec![0xa5u8; 512];
     let big = vec![0xa5u8; 1 << 20];
-    c.bench_function("sha256/512B", |b| b.iter(|| Digest::of(black_box(&small))));
-    c.bench_function("sha256/1MiB", |b| b.iter(|| Digest::of(black_box(&big))));
+    b.run("sha256/512B", || Digest::of(black_box(&small)));
+    b.run("sha256/1MiB", || Digest::of(black_box(&big)));
 }
 
-fn bench_schnorr(c: &mut Criterion) {
+fn bench_prng(b: &Bench) {
+    let mut rng = ClanRng::seed_from_u64(1);
+    b.run("prng/next_u64", || rng.next_u64());
+    let mut rng2 = ClanRng::seed_from_u64(2);
+    let mut ids: Vec<u32> = (0..150).collect();
+    b.run("prng/shuffle-150", || {
+        rng2.shuffle(black_box(&mut ids));
+    });
+}
+
+fn bench_schnorr(b: &Bench) {
     let sk = Scalar::from_u64(0xdeadbeef);
     let pk = schnorr::public_key(&sk);
     let msg = b"leader vote statement";
     let sig = schnorr::sign(&sk, &pk, msg);
-    c.bench_function("schnorr/sign", |b| b.iter(|| schnorr::sign(&sk, &pk, black_box(msg))));
-    c.bench_function("schnorr/verify", |b| {
-        b.iter(|| schnorr::verify(&pk, black_box(msg), &sig))
+    b.run("schnorr/sign", || schnorr::sign(&sk, &pk, black_box(msg)));
+    b.run("schnorr/verify", || {
+        schnorr::verify(&pk, black_box(msg), &sig)
     });
 }
 
-fn bench_keyed_signer(c: &mut Criterion) {
+fn bench_keyed_signer(b: &Bench) {
     let (registry, keypairs) = Registry::generate(Scheme::Keyed, 4, 1);
     let kp: &Keypair = &keypairs[0];
     let sig = kp.sign(b"echo");
-    c.bench_function("keyed/sign", |b| b.iter(|| kp.sign(black_box(b"echo"))));
-    c.bench_function("keyed/verify", |b| {
-        b.iter(|| registry.verify(0, black_box(b"echo"), &sig))
+    b.run("keyed/sign", || kp.sign(black_box(b"echo")));
+    b.run("keyed/verify", || {
+        registry.verify(0, black_box(b"echo"), &sig)
     });
 }
 
-fn bench_combinatorics(c: &mut Criterion) {
-    c.bench_function("binomial/C(1000,333)", |b| {
-        b.iter(|| binomial(black_box(1000), black_box(333)))
+fn bench_combinatorics(b: &Bench) {
+    b.run("binomial/C(1000,333)", || {
+        binomial(black_box(1000), black_box(333))
     });
-    c.bench_function("hypergeom/n=500 clan=184", |b| {
-        b.iter(|| dishonest_majority_prob(black_box(500), 166, 184))
-    });
-}
-
-fn bench_bitmap(c: &mut Criterion) {
-    c.bench_function("bitmap/quorum-count-150", |b| {
-        b.iter(|| {
-            let mut bm = Bitmap::new(150);
-            for i in (0..150).step_by(2) {
-                bm.set(black_box(i));
-            }
-            bm.count()
-        })
+    b.run("hypergeom/n=500 clan=184", || {
+        dishonest_majority_prob(black_box(500), 166, 184)
     });
 }
 
-fn bench_dag(c: &mut Criterion) {
+fn bench_bitmap(b: &Bench) {
+    b.run("bitmap/quorum-count-150", || {
+        let mut bm = Bitmap::new(150);
+        for i in (0..150).step_by(2) {
+            bm.set(black_box(i));
+        }
+        bm.count()
+    });
+}
+
+fn bench_dag(b: &Bench) {
     let make_vertex = |round: u64, source: u32, n: u32| Vertex {
         round: Round(round),
         source: PartyId(source),
@@ -67,35 +76,36 @@ fn bench_dag(c: &mut Criterion) {
         block_bytes: 0,
         block_tx_count: 0,
         strong_edges: (0..n)
-            .map(|s| VertexRef { round: Round(round - 1), source: PartyId(s) })
+            .map(|s| VertexRef {
+                round: Round(round - 1),
+                source: PartyId(s),
+            })
             .collect(),
         weak_edges: vec![],
         nvc: None,
         tc: None,
     };
-    c.bench_function("dag/insert-round-50-nodes", |b| {
-        b.iter(|| {
-            let mut dag = Dag::new(TribeParams::new(50));
-            for s in 0..50u32 {
-                dag.insert(Vertex {
-                    round: Round(0),
-                    source: PartyId(s),
-                    block_digest: Digest::ZERO,
-                    block_bytes: 0,
-                    block_tx_count: 0,
-                    strong_edges: vec![],
-                    weak_edges: vec![],
-                    nvc: None,
-                    tc: None,
-                });
-            }
-            for s in 0..50u32 {
-                dag.insert(make_vertex(1, s, 50));
-            }
-            dag.round_count(Round(1))
-        })
+    b.run("dag/insert-round-50-nodes", || {
+        let mut dag = Dag::new(TribeParams::new(50));
+        for s in 0..50u32 {
+            dag.insert(Vertex {
+                round: Round(0),
+                source: PartyId(s),
+                block_digest: Digest::ZERO,
+                block_bytes: 0,
+                block_tx_count: 0,
+                strong_edges: vec![],
+                weak_edges: vec![],
+                nvc: None,
+                tc: None,
+            });
+        }
+        for s in 0..50u32 {
+            dag.insert(make_vertex(1, s, 50));
+        }
+        dag.round_count(Round(1))
     });
-    c.bench_function("dag/strong-path-10-rounds", |b| {
+    {
         let mut dag = Dag::new(TribeParams::new(20));
         for s in 0..20u32 {
             dag.insert(Vertex {
@@ -115,19 +125,39 @@ fn bench_dag(c: &mut Criterion) {
                 dag.insert(make_vertex(r, s, 20));
             }
         }
-        let from = VertexRef { round: Round(10), source: PartyId(0) };
-        let to = VertexRef { round: Round(1), source: PartyId(19) };
-        b.iter(|| dag.exists_strong_path(black_box(&from), black_box(&to)))
-    });
+        let from = VertexRef {
+            round: Round(10),
+            source: PartyId(0),
+        };
+        let to = VertexRef {
+            round: Round(1),
+            source: PartyId(19),
+        };
+        b.run("dag/strong-path-10-rounds", || {
+            dag.exists_strong_path(black_box(&from), black_box(&to))
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_schnorr,
-    bench_keyed_signer,
-    bench_combinatorics,
-    bench_bitmap,
-    bench_dag
-);
-criterion_main!(benches);
+fn main() {
+    let bench = if clanbft_bench::full_scale() {
+        Bench::default()
+    } else {
+        Bench::quick()
+    };
+    println!(
+        "=== substrate micro-benchmarks ({} profile) ===\n",
+        if clanbft_bench::full_scale() {
+            "full"
+        } else {
+            "quick"
+        }
+    );
+    bench_sha256(&bench);
+    bench_prng(&bench);
+    bench_schnorr(&bench);
+    bench_keyed_signer(&bench);
+    bench_combinatorics(&bench);
+    bench_bitmap(&bench);
+    bench_dag(&bench);
+}

@@ -24,8 +24,7 @@ fn main() {
     println!("\n=== §7 evaluation clan sizes (failure budget 1e-6) ===\n");
     for (n, paper_nc) in [(50u64, 32u64), (100, 60), (150, 80)] {
         let f = (n - 1) / 3;
-        let ours = min_clan_size_tail(n, f, 1e-6, Tail::StrictDishonestMajority)
-            .expect("solvable");
+        let ours = min_clan_size_tail(n, f, 1e-6, Tail::StrictDishonestMajority).expect("solvable");
         let p_paper = strict_dishonest_majority_prob(n, f, paper_nc);
         println!(
             "n={n:<4}: paper clan {paper_nc} (prob {p_paper:.3e}); our minimal clan {ours} (prob {:.3e})",

@@ -77,7 +77,11 @@ fn measure(a: u32, b: u32) -> f64 {
 fn main() {
     let names = ["us-e-1", "us-w-1", "eu-n-1", "as-ne-1", "au-se-1"];
     println!("=== Table 1: ping latencies between GCP regions (ms) ===\n");
-    println!("{:<10} {}", "src\\dst", names.map(|n| format!("{n:>18}")).join(""));
+    println!(
+        "{:<10} {}",
+        "src\\dst",
+        names.map(|n| format!("{n:>18}")).join("")
+    );
     for (i, src) in names.iter().enumerate() {
         let mut row = format!("{src:<10}");
         #[allow(clippy::needless_range_loop)]

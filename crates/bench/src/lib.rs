@@ -10,9 +10,13 @@
 
 use clanbft_sim::{ExperimentSpec, Proto, RunMetrics};
 
+pub mod timing;
+
 /// True when the full (paper-scale) sweep was requested.
 pub fn full_scale() -> bool {
-    std::env::var("CLANBFT_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CLANBFT_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Runs one throughput/latency data point with bench-standard settings.

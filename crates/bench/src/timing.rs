@@ -1,0 +1,201 @@
+//! A small wall-clock micro-benchmark harness (the in-tree Criterion
+//! replacement).
+//!
+//! Protocol: calibrate a batch size so one sample takes ~1 ms, warm up for a
+//! fixed duration, then collect timed samples until the measurement budget
+//! is spent, and report mean / p50 / p99 per-iteration times. That is the
+//! useful core of Criterion for our purposes — regressions in the substrate
+//! hot paths (hashing, signing, DAG insertion) show up as order-of-magnitude
+//! moves, not 2% drifts, so confidence intervals and outlier classification
+//! are not reproduced.
+//!
+//! ```no_run
+//! use clanbft_bench::timing::Bench;
+//!
+//! let bench = Bench::default();
+//! bench.run("sha256/1KiB", || std::hint::black_box([0u8; 1024]));
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's collected statistics (per-iteration times).
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Benchmark label.
+    pub name: String,
+    /// Total timed iterations across all samples.
+    pub iterations: u64,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Median sample.
+    pub p50: Duration,
+    /// 99th-percentile sample.
+    pub p99: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+impl Timing {
+    /// One aligned report row, nanosecond precision.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<38} {:>12} {:>12} {:>12}   ({} iters)",
+            self.name,
+            fmt_ns("mean", self.mean),
+            fmt_ns("p50", self.p50),
+            fmt_ns("p99", self.p99),
+            self.iterations,
+        )
+    }
+}
+
+fn fmt_ns(label: &str, d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000 {
+        format!("{label} {:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{label} {:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{label} {ns}ns")
+    }
+}
+
+/// Harness configuration: how long to warm up and how long to measure.
+#[derive(Clone, Copy, Debug)]
+pub struct Bench {
+    /// Wall-clock warm-up budget before any sample is recorded.
+    pub warmup: Duration,
+    /// Wall-clock measurement budget.
+    pub measure: Duration,
+    /// Target duration of one sample batch (sets the batch size).
+    pub sample_target: Duration,
+    /// Cap on recorded samples.
+    pub max_samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench {
+            warmup: Duration::from_millis(60),
+            measure: Duration::from_millis(250),
+            sample_target: Duration::from_millis(1),
+            max_samples: 500,
+        }
+    }
+}
+
+impl Bench {
+    /// A faster profile for CI smoke runs.
+    pub fn quick() -> Bench {
+        Bench {
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(50),
+            sample_target: Duration::from_micros(500),
+            max_samples: 200,
+        }
+    }
+
+    /// Runs `f` under the harness, prints the report row, returns the stats.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Timing {
+        // Calibration: estimate one iteration's cost to pick the batch size.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let probe = t0.elapsed().max(Duration::from_nanos(1));
+        let batch: u64 =
+            (self.sample_target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warm-up: same batches, results discarded.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+        }
+
+        // Measurement: each sample is one timed batch, recorded per-iteration.
+        let mut samples: Vec<Duration> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure && samples.len() < self.max_samples {
+            let s = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(s.elapsed() / batch as u32);
+        }
+
+        samples.sort_unstable();
+        let iterations = batch * samples.len() as u64;
+        let total: Duration = samples.iter().sum();
+        let timing = Timing {
+            name: name.to_string(),
+            iterations,
+            mean: total / samples.len() as u32,
+            p50: percentile(&samples, 50),
+            p99: percentile(&samples, 99),
+            min: samples[0],
+            max: *samples.last().expect("at least one sample"),
+        };
+        println!("{}", timing.row());
+        timing
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+fn percentile(sorted: &[Duration], pct: u32) -> Duration {
+    assert!(!sorted.is_empty() && pct <= 100);
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        Bench {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(10),
+            sample_target: Duration::from_micros(100),
+            max_samples: 50,
+        }
+    }
+
+    #[test]
+    fn reports_plausible_stats() {
+        let t = quick().run("spin", || {
+            let mut x = 0u64;
+            for i in 0..100 {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+            x
+        });
+        assert!(t.iterations > 0);
+        assert!(t.mean > Duration::ZERO);
+        assert!(t.min <= t.p50 && t.p50 <= t.p99 && t.p99 <= t.max);
+    }
+
+    #[test]
+    fn percentile_ranks() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100), Duration::from_millis(100));
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 99),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn slow_bodies_get_small_batches() {
+        // A ~2 ms body must not be batched 1000x (that would take seconds).
+        let start = Instant::now();
+        quick().run("slow", || std::thread::sleep(Duration::from_millis(2)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "calibration over-batched"
+        );
+    }
+}

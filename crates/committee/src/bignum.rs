@@ -274,7 +274,9 @@ mod tests {
 
     #[test]
     fn div_rem() {
-        let v = BigUint::from_u64(1000).mul(&BigUint::from_u64(u64::MAX)).add(&BigUint::from_u64(7));
+        let v = BigUint::from_u64(1000)
+            .mul(&BigUint::from_u64(u64::MAX))
+            .add(&BigUint::from_u64(7));
         let (q, r) = v.div_rem_u64(1000);
         assert_eq!(q, BigUint::from_u64(u64::MAX));
         assert_eq!(r, 7);

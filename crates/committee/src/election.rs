@@ -6,10 +6,8 @@
 //! region-balanced elector reproduces that choice and is what the Fig. 5/6
 //! benches use.
 
+use clanbft_crypto::ClanRng;
 use clanbft_types::{ClanId, PartyId};
-use rand::seq::SliceRandom;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which parties belong to which clan.
 ///
@@ -45,15 +43,20 @@ impl ClanAssignment {
                 member_of[p.idx()] = Some(ClanId(ci as u16));
             }
         }
-        ClanAssignment { n, clans, member_of }
+        ClanAssignment {
+            n,
+            clans,
+            member_of,
+        }
     }
 
     /// Elects a single clan of `nc` parties uniformly at random.
     pub fn elect_uniform(n: usize, nc: usize, seed: u64) -> ClanAssignment {
         assert!(nc <= n, "clan larger than tribe");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ClanRng::seed_from_u64(seed);
         let mut ids: Vec<PartyId> = (0..n as u32).map(PartyId).collect();
-        ids.shuffle(&mut rng);
+        // Partial Fisher–Yates: only the elected prefix needs shuffling.
+        rng.partial_shuffle(&mut ids, nc);
         ids.truncate(nc);
         ClanAssignment::new(n, vec![ids])
     }
@@ -69,14 +72,14 @@ impl ClanAssignment {
     ) -> ClanAssignment {
         assert_eq!(region_of.len(), n, "region table size mismatch");
         assert!(nc <= n, "clan larger than tribe");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ClanRng::seed_from_u64(seed);
         let regions = region_of.iter().copied().max().map_or(1, |m| m + 1);
         let mut by_region: Vec<Vec<PartyId>> = vec![Vec::new(); regions];
         for (p, &r) in region_of.iter().enumerate() {
             by_region[r].push(PartyId(p as u32));
         }
         for bucket in &mut by_region {
-            bucket.shuffle(&mut rng);
+            rng.shuffle(bucket);
         }
         // Round-robin across regions until the clan is full.
         let mut members = Vec::with_capacity(nc);
@@ -106,9 +109,9 @@ impl ClanAssignment {
     /// `n mod q` clans take the extra members.
     pub fn partition_uniform(n: usize, q: usize, seed: u64) -> ClanAssignment {
         assert!(q >= 1 && q <= n, "invalid clan count");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ClanRng::seed_from_u64(seed);
         let mut ids: Vec<PartyId> = (0..n as u32).map(PartyId).collect();
-        ids.shuffle(&mut rng);
+        rng.shuffle(&mut ids);
         let sizes = crate::multiclan::even_clan_sizes(n as u64, q as u64);
         let mut clans = Vec::with_capacity(q);
         let mut off = 0usize;
@@ -129,14 +132,14 @@ impl ClanAssignment {
     ) -> ClanAssignment {
         assert_eq!(region_of.len(), n, "region table size mismatch");
         assert!(q >= 1 && q <= n, "invalid clan count");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ClanRng::seed_from_u64(seed);
         let regions = region_of.iter().copied().max().map_or(1, |m| m + 1);
         let mut by_region: Vec<Vec<PartyId>> = vec![Vec::new(); regions];
         for (p, &r) in region_of.iter().enumerate() {
             by_region[r].push(PartyId(p as u32));
         }
         for bucket in &mut by_region {
-            bucket.shuffle(&mut rng);
+            rng.shuffle(bucket);
         }
         // Deal parties region-by-region, round-robin across clans, so each
         // clan gets an even regional mix and sizes stay balanced.
@@ -210,6 +213,29 @@ mod tests {
         assert_eq!(a.members(ClanId(0)), b.members(ClanId(0)));
         assert_ne!(a.members(ClanId(0)), c.members(ClanId(0)));
     }
+
+    /// The exact clans for fixed seeds are pinned so that any change to the
+    /// PRNG or shuffle order — which silently re-randomizes every seeded
+    /// experiment in the workspace — fails loudly here. These values were
+    /// re-pinned once when the in-tree `ClanRng` replaced `rand::StdRng`
+    /// (the streams are necessarily different); they must be stable across
+    /// processes, platforms and releases from now on.
+    #[test]
+    fn election_pinned_across_processes() {
+        let a = ClanAssignment::elect_uniform(10, 4, 42);
+        let got: Vec<u32> = a.members(ClanId(0)).iter().map(|p| p.0).collect();
+        assert_eq!(got, PINNED_ELECT_UNIFORM_10_4_SEED42);
+
+        let b = ClanAssignment::partition_uniform(8, 2, 7);
+        let got0: Vec<u32> = b.members(ClanId(0)).iter().map(|p| p.0).collect();
+        let got1: Vec<u32> = b.members(ClanId(1)).iter().map(|p| p.0).collect();
+        assert_eq!(got0, PINNED_PARTITION_8_2_SEED7_CLAN0);
+        assert_eq!(got1, PINNED_PARTITION_8_2_SEED7_CLAN1);
+    }
+
+    const PINNED_ELECT_UNIFORM_10_4_SEED42: [u32; 4] = [3, 4, 8, 9];
+    const PINNED_PARTITION_8_2_SEED7_CLAN0: [u32; 4] = [1, 2, 3, 6];
+    const PINNED_PARTITION_8_2_SEED7_CLAN1: [u32; 4] = [0, 4, 5, 7];
 
     #[test]
     fn region_balanced_election_spreads() {

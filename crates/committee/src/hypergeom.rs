@@ -48,12 +48,7 @@ impl Tail {
 /// chosen tail convention.
 ///
 /// Returns `(bad, total)` where the probability is `bad / total`.
-pub fn dishonest_majority_counts_tail(
-    n: u64,
-    f: u64,
-    nc: u64,
-    tail: Tail,
-) -> (BigUint, BigUint) {
+pub fn dishonest_majority_counts_tail(n: u64, f: u64, nc: u64, tail: Tail) -> (BigUint, BigUint) {
     assert!(f <= n, "f={f} exceeds n={n}");
     assert!(nc <= n, "nc={nc} exceeds n={n}");
     let total = binomial(n, nc);

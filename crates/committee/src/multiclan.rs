@@ -85,7 +85,11 @@ fn count_good(
         let assigned: u64 = sizes.iter().sum();
         let leftover = n - assigned;
         let byz_left = f - byz_used;
-        return if byz_left <= leftover { BigUint::one() } else { BigUint::zero() };
+        return if byz_left <= leftover {
+            BigUint::one()
+        } else {
+            BigUint::zero()
+        };
     }
     if let Some(v) = memo.get(&(i, byz_used)) {
         return v.clone();
@@ -233,9 +237,15 @@ mod tests {
     fn max_clan_count_paper_points() {
         let f150 = (150 - 1) / 3;
         let (q, _, p) = max_clan_count(150, f150, 1e-5);
-        assert_eq!(q, 2, "n=150 supports two clans at ~1e-5 (paper: 4.015e-6), p={p:e}");
+        assert_eq!(
+            q, 2,
+            "n=150 supports two clans at ~1e-5 (paper: 4.015e-6), p={p:e}"
+        );
         let f387 = (387 - 1) / 3;
         let (q, _, p) = max_clan_count(387, f387, 1e-5);
-        assert!(q >= 3, "n=387 supports three clans (paper: 1.11e-6), p={p:e}");
+        assert!(
+            q >= 3,
+            "n=387 supports three clans (paper: 1.11e-6), p={p:e}"
+        );
     }
 }

@@ -22,8 +22,11 @@ pub fn min_clan_size_tail(n: u64, f: u64, threshold: f64, tail: Tail) -> Option<
     let mut hi = n;
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let p = prob(n, f, mid, tail)
-            .min(if mid < n { prob(n, f, mid + 1, tail) } else { 1.0 });
+        let p = prob(n, f, mid, tail).min(if mid < n {
+            prob(n, f, mid + 1, tail)
+        } else {
+            1.0
+        });
         if p <= threshold {
             hi = mid;
         } else {
@@ -62,7 +65,12 @@ pub fn clan_size_series(ns: &[u64], threshold: f64, tail: Tail) -> Vec<ClanSizeR
             let f = (n - 1) / 3;
             let clan_size = min_clan_size_tail(n, f, threshold, tail)
                 .expect("f < n/3 implies the full tribe is safe");
-            ClanSizeRow { n, f, clan_size, prob: prob(n, f, clan_size, tail) }
+            ClanSizeRow {
+                n,
+                f,
+                clan_size,
+                prob: prob(n, f, clan_size, tail),
+            }
         })
         .collect()
 }
@@ -79,7 +87,10 @@ mod tests {
             for tail in [Tail::NoHonestMajority, Tail::StrictDishonestMajority] {
                 let nc = min_clan_size_tail(n, f, 1e-6, tail).expect("solvable");
                 assert!(prob(n, f, nc, tail) <= 1e-6, "n={n} {tail:?}");
-                assert!(prob(n, f, nc - 1, tail) > 1e-6, "n={n} {tail:?} not minimal");
+                assert!(
+                    prob(n, f, nc - 1, tail) > 1e-6,
+                    "n={n} {tail:?} not minimal"
+                );
             }
         }
     }
@@ -113,7 +124,10 @@ mod tests {
         let rows = clan_size_series(&[100, 200, 500, 1000], 1e-9, Tail::StrictDishonestMajority);
         assert_eq!(rows.len(), 4);
         for w in rows.windows(2) {
-            assert!(w[1].clan_size >= w[0].clan_size, "clan size is nondecreasing in n");
+            assert!(
+                w[1].clan_size >= w[0].clan_size,
+                "clan size is nondecreasing in n"
+            );
             // Sublinear growth: doubling n grows the clan by much less than 2x.
             let ratio = w[1].clan_size as f64 / w[0].clan_size as f64;
             let n_ratio = w[1].n as f64 / w[0].n as f64;
@@ -128,7 +142,11 @@ mod tests {
         assert!(at_500.clan_size >= 170, "n=500 clan suspiciously small");
         // The figure tops out around 225 at n = 1000.
         let at_1000 = rows.iter().find(|r| r.n == 1000).unwrap();
-        assert!((195..=235).contains(&at_1000.clan_size), "got {}", at_1000.clan_size);
+        assert!(
+            (195..=235).contains(&at_1000.clan_size),
+            "got {}",
+            at_1000.clan_size
+        );
     }
 
     #[test]

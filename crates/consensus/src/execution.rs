@@ -123,12 +123,21 @@ mod tests {
         Block::new(
             PartyId(1),
             Round(seq),
-            vec![TxBatch::synthetic(PartyId(1), seq * 1000, count, 512, Micros(seq))],
+            vec![TxBatch::synthetic(
+                PartyId(1),
+                seq * 1000,
+                count,
+                512,
+                Micros(seq),
+            )],
         )
     }
 
     fn vref(round: u64, source: u32) -> VertexRef {
-        VertexRef { round: Round(round), source: PartyId(source) }
+        VertexRef {
+            round: Round(round),
+            source: PartyId(source),
+        }
     }
 
     #[test]

@@ -73,8 +73,16 @@ mod tests {
     #[test]
     fn control_messages_are_small() {
         let sig = Signature([0u8; 64]);
-        let vote = ConsensusMsg::Vote { round: Round(1), vertex_id: Digest::ZERO, sig };
-        let timeout = ConsensusMsg::Timeout { round: Round(1), timeout_sig: sig, no_vote_sig: sig };
+        let vote = ConsensusMsg::Vote {
+            round: Round(1),
+            vertex_id: Digest::ZERO,
+            sig,
+        };
+        let timeout = ConsensusMsg::Timeout {
+            round: Round(1),
+            timeout_sig: sig,
+            no_vote_sig: sig,
+        };
         assert!(vote.wire_bytes() < 128);
         assert!(timeout.wire_bytes() < 160);
     }

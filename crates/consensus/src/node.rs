@@ -112,7 +112,8 @@ impl SailfishNode {
     /// Builds a node from its configuration and signing identity.
     pub fn new(cfg: NodeConfig, auth: Arc<Authenticator>) -> SailfishNode {
         let engine_cfg = EngineConfig::new(cfg.me, Arc::clone(&cfg.topology), cfg.cost);
-        let rbc = TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
+        let rbc =
+            TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
         SailfishNode {
             schedule: LeaderSchedule::new(cfg.tribe.n(), cfg.schedule_seed),
             dag: Dag::new(cfg.tribe),
@@ -132,7 +133,11 @@ impl SailfishNode {
             committed_log: Vec::new(),
             proposed_batches: Vec::new(),
             exec_queue: VecDeque::new(),
-            executor: if cfg.execute { Some(Executor::new()) } else { None },
+            executor: if cfg.execute {
+                Some(Executor::new())
+            } else {
+                None
+            },
             next_seq: 0,
             last_proposal_at: Micros::ZERO,
             cfg,
@@ -271,7 +276,13 @@ impl SailfishNode {
     // --- vertex intake ------------------------------------------------------
 
     /// Validates and accepts a delivered vertex; idempotent.
-    fn process_vertex(&mut self, vertex: Arc<Vertex>, fx: &mut Effects<MergedPayload>, now: Micros, out: &mut Vec<ConsensusMsg>) {
+    fn process_vertex(
+        &mut self,
+        vertex: Arc<Vertex>,
+        fx: &mut Effects<MergedPayload>,
+        now: Micros,
+        out: &mut Vec<ConsensusMsg>,
+    ) {
         let vref = vertex.reference();
         if self.accepted.contains_key(&vref) || vref.round < self.dag.horizon() {
             return;
@@ -279,7 +290,11 @@ impl SailfishNode {
         if !self.validate_vertex(&vertex, fx) {
             return;
         }
-        fx.charge(self.cfg.cost.db_reads(vertex.strong_edges.len() + vertex.weak_edges.len()));
+        fx.charge(
+            self.cfg
+                .cost
+                .db_reads(vertex.strong_edges.len() + vertex.weak_edges.len()),
+        );
         fx.charge(self.cfg.cost.db_write());
         let id = vertex.id();
         self.accepted.insert(vref, (Arc::clone(&vertex), id));
@@ -293,7 +308,11 @@ impl SailfishNode {
             self.voted.insert(round);
             fx.charge(self.cfg.cost.sign());
             let sig = self.auth.sign_digest(&vote_digest(round, &id));
-            out.push(ConsensusMsg::Vote { round, vertex_id: id, sig });
+            out.push(ConsensusMsg::Vote {
+                round,
+                vertex_id: id,
+                sig,
+            });
         }
 
         match self.dag.insert((*vertex).clone()) {
@@ -379,7 +398,9 @@ impl SailfishNode {
         });
         let ordered = order::causal_order(&mut self.dag, &chain);
         for vref in ordered {
-            let Some(v) = self.dag.get(&vref) else { continue };
+            let Some(v) = self.dag.get(&vref) else {
+                continue;
+            };
             self.committed_log.push(CommittedVertex {
                 sequence: self.next_commit_seq(),
                 vertex: vref,
@@ -388,8 +409,7 @@ impl SailfishNode {
                 block_tx_count: v.block_tx_count,
                 committed_at: now,
             });
-            if self.executor.is_some()
-                && self.cfg.topology.receives_full(self.cfg.me, vref.source)
+            if self.executor.is_some() && self.cfg.topology.receives_full(self.cfg.me, vref.source)
             {
                 self.exec_queue.push_back(vref);
             }
@@ -404,7 +424,9 @@ impl SailfishNode {
     }
 
     fn try_execute(&mut self, now: Micros) {
-        let Some(executor) = self.executor.as_mut() else { return };
+        let Some(executor) = self.executor.as_mut() else {
+            return;
+        };
         while let Some(front) = self.exec_queue.front().copied() {
             let Some(block) = self.blocks.get(&front) else {
                 break; // Block still downloading; execution lags consensus.
@@ -415,8 +437,12 @@ impl SailfishNode {
     }
 
     fn garbage_collect(&mut self) {
-        let Some(depth) = self.cfg.gc_depth else { return };
-        let Some(lc) = self.last_committed else { return };
+        let Some(depth) = self.cfg.gc_depth else {
+            return;
+        };
+        let Some(lc) = self.last_committed else {
+            return;
+        };
         if lc.0 <= depth {
             return;
         }
@@ -466,7 +492,11 @@ impl SailfishNode {
             for ev in fx.events {
                 let mut nested = Effects::new();
                 match ev {
-                    RbcEvent::Certified { source, round, digest } => {
+                    RbcEvent::Certified {
+                        source,
+                        round,
+                        digest,
+                    } => {
                         // Act as soon as the vertex is certified, even if
                         // the block is still in flight (paper §5).
                         if let Some(meta) = self.rbc.meta_of(round, source) {
@@ -475,7 +505,11 @@ impl SailfishNode {
                             }
                         }
                     }
-                    RbcEvent::DeliverFull { source, round, payload } => {
+                    RbcEvent::DeliverFull {
+                        source,
+                        round,
+                        payload,
+                    } => {
                         let vref = VertexRef { round, source };
                         self.blocks.insert(vref, Arc::clone(&payload.block));
                         self.process_vertex(
@@ -486,7 +520,11 @@ impl SailfishNode {
                         );
                         self.try_execute(ctx.now());
                     }
-                    RbcEvent::DeliverMeta { source: _, round: _, meta } => {
+                    RbcEvent::DeliverMeta {
+                        source: _,
+                        round: _,
+                        meta,
+                    } => {
                         self.process_vertex(meta, &mut nested, ctx.now(), &mut extra_msgs);
                     }
                     RbcEvent::EchoQuorum { .. } => {}
@@ -509,7 +547,14 @@ impl SailfishNode {
         self.try_advance(ctx);
     }
 
-    fn on_vote(&mut self, from: PartyId, round: Round, vertex_id: Digest, sig: clanbft_crypto::Signature, ctx: &mut Ctx<ConsensusMsg>) {
+    fn on_vote(
+        &mut self,
+        from: PartyId,
+        round: Round,
+        vertex_id: Digest,
+        sig: clanbft_crypto::Signature,
+        ctx: &mut Ctx<ConsensusMsg>,
+    ) {
         ctx.charge(self.cfg.cost.aggregate(1));
         if self.cfg.verify_sigs
             && !self
@@ -576,10 +621,18 @@ impl Protocol<ConsensusMsg> for SailfishNode {
                 self.rbc.handle(from, pkt, &mut fx);
                 self.flush(fx, ctx);
             }
-            ConsensusMsg::Vote { round, vertex_id, sig } => {
+            ConsensusMsg::Vote {
+                round,
+                vertex_id,
+                sig,
+            } => {
                 self.on_vote(from, round, vertex_id, sig, ctx);
             }
-            ConsensusMsg::Timeout { round, timeout_sig, no_vote_sig } => {
+            ConsensusMsg::Timeout {
+                round,
+                timeout_sig,
+                no_vote_sig,
+            } => {
                 self.on_timeout_msg(from, round, timeout_sig, no_vote_sig, ctx);
             }
         }
@@ -606,7 +659,11 @@ impl Protocol<ConsensusMsg> for SailfishNode {
         let no_vote_sig = self.auth.sign_digest(&no_vote_digest(round));
         ctx.multicast(
             self.cfg.tribe.parties(),
-            ConsensusMsg::Timeout { round, timeout_sig, no_vote_sig },
+            ConsensusMsg::Timeout {
+                round,
+                timeout_sig,
+                no_vote_sig,
+            },
         );
     }
 }
@@ -649,7 +706,10 @@ mod tests {
 
     fn full_edges(round: u64, n: u32) -> Vec<VertexRef> {
         (0..n)
-            .map(|s| VertexRef { round: Round(round), source: PartyId(s) })
+            .map(|s| VertexRef {
+                round: Round(round),
+                source: PartyId(s),
+            })
             .collect()
     }
 
@@ -668,9 +728,18 @@ mod tests {
             1,
             2,
             vec![
-                VertexRef { round: Round(0), source: PartyId(1) },
-                VertexRef { round: Round(0), source: PartyId(2) },
-                VertexRef { round: Round(0), source: PartyId(3) },
+                VertexRef {
+                    round: Round(0),
+                    source: PartyId(1),
+                },
+                VertexRef {
+                    round: Round(0),
+                    source: PartyId(2),
+                },
+                VertexRef {
+                    round: Round(0),
+                    source: PartyId(3),
+                },
             ],
         );
         assert!(!node.validate_vertex(&missing, &mut fx));
@@ -699,9 +768,18 @@ mod tests {
         let (mut node, auths) = test_node(4, 0);
         let mut fx = Effects::new();
         let edges = vec![
-            VertexRef { round: Round(0), source: PartyId(1) },
-            VertexRef { round: Round(0), source: PartyId(2) },
-            VertexRef { round: Round(0), source: PartyId(3) },
+            VertexRef {
+                round: Round(0),
+                source: PartyId(1),
+            },
+            VertexRef {
+                round: Round(0),
+                source: PartyId(2),
+            },
+            VertexRef {
+                round: Round(0),
+                source: PartyId(3),
+            },
         ];
         let bare = bare_vertex(1, 1, edges.clone());
         assert!(!node.validate_vertex(&bare, &mut fx), "no justification");
@@ -738,7 +816,11 @@ mod tests {
         assert_eq!(block.batches.len(), 4, "four sub-batches per proposal");
         let times: Vec<u64> = block.batches.iter().map(|b| b.created_at.0).collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
-        assert_eq!(*times.last().unwrap(), 3_500_000, "newest batch half a quarter back");
+        assert_eq!(
+            *times.last().unwrap(),
+            3_500_000,
+            "newest batch half a quarter back"
+        );
         assert_eq!(times[0], 500_000, "oldest batch near the previous proposal");
         // Sequence numbers advance.
         let block2 = node.build_block(Round(2), Micros::from_secs(8));

@@ -30,8 +30,15 @@ impl MergedPayload {
     /// Panics if the vertex does not reference this block (construction-time
     /// misuse; received payloads go through [`TribePayload::validate`]).
     pub fn new(vertex: Vertex, block: Block) -> MergedPayload {
-        assert_eq!(vertex.block_digest, block.digest(), "vertex must bind its block");
-        MergedPayload { vertex: Arc::new(vertex), block: Arc::new(block) }
+        assert_eq!(
+            vertex.block_digest,
+            block.digest(),
+            "vertex must bind its block"
+        );
+        MergedPayload {
+            vertex: Arc::new(vertex),
+            block: Arc::new(block),
+        }
     }
 }
 

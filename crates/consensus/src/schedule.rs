@@ -15,7 +15,10 @@ pub struct LeaderSchedule {
 impl LeaderSchedule {
     /// A schedule for `n` parties with rotation offset derived from `seed`.
     pub fn new(n: usize, seed: u64) -> LeaderSchedule {
-        LeaderSchedule { n: n as u32, offset: seed }
+        LeaderSchedule {
+            n: n as u32,
+            offset: seed,
+        }
     }
 
     /// Leader of `round`.
@@ -25,7 +28,10 @@ impl LeaderSchedule {
 
     /// Reference naming the leader vertex of `round`.
     pub fn leader_vertex(&self, round: Round) -> VertexRef {
-        VertexRef { round, source: self.leader(round) }
+        VertexRef {
+            round,
+            source: self.leader(round),
+        }
     }
 
     /// True iff `p` leads `round`.

@@ -230,11 +230,23 @@ impl StrawmanNode {
         ctx.charge(ctx.cost().hash(block.encoded_len()));
         let clan = self.cfg.topology.clan_for_sender(self.cfg.me).clone();
         for &p in &clan.members {
-            ctx.send(p, StrawmanMsg::Disseminate { block: Arc::clone(&block), seq });
+            ctx.send(
+                p,
+                StrawmanMsg::Disseminate {
+                    block: Arc::clone(&block),
+                    seq,
+                },
+            );
         }
     }
 
-    fn on_disseminate(&mut self, from: PartyId, block: Arc<Block>, seq: u64, ctx: &mut Ctx<StrawmanMsg>) {
+    fn on_disseminate(
+        &mut self,
+        from: PartyId,
+        block: Arc<Block>,
+        seq: u64,
+        ctx: &mut Ctx<StrawmanMsg>,
+    ) {
         // Only clan members of the owner ack.
         if !self.cfg.topology.receives_full(self.cfg.me, from) {
             return;
@@ -243,7 +255,15 @@ impl StrawmanNode {
         let digest = block.digest();
         ctx.charge(ctx.cost().sign());
         let sig = self.auth.sign_digest(&poa_digest(from, seq, &digest));
-        ctx.send(from, StrawmanMsg::Ack { owner: from, seq, block_digest: digest, sig });
+        ctx.send(
+            from,
+            StrawmanMsg::Ack {
+                owner: from,
+                seq,
+                block_digest: digest,
+                sig,
+            },
+        );
     }
 
     fn on_ack(
@@ -255,11 +275,7 @@ impl StrawmanNode {
         ctx: &mut Ctx<StrawmanMsg>,
     ) {
         ctx.charge(ctx.cost().aggregate(1));
-        let clan_quorum = self
-            .cfg
-            .topology
-            .clan_for_sender(self.cfg.me)
-            .clan_quorum;
+        let clan_quorum = self.cfg.topology.clan_for_sender(self.cfg.me).clan_quorum;
         let me = self.cfg.me;
         let n = self.n();
         let Some((digest, tx_count, created_at, sigs)) = self.pending_acks.get_mut(&seq) else {
@@ -296,11 +312,23 @@ impl StrawmanNode {
         self.slot_votes
             .insert(slot, (content, Arc::clone(&poas), Vec::new()));
         for p in self.cfg.topology.tribe().parties() {
-            ctx.send(p, StrawmanMsg::Propose { slot, poas: Arc::clone(&poas) });
+            ctx.send(
+                p,
+                StrawmanMsg::Propose {
+                    slot,
+                    poas: Arc::clone(&poas),
+                },
+            );
         }
     }
 
-    fn on_propose(&mut self, from: PartyId, slot: u64, poas: Arc<Vec<Poa>>, ctx: &mut Ctx<StrawmanMsg>) {
+    fn on_propose(
+        &mut self,
+        from: PartyId,
+        slot: u64,
+        poas: Arc<Vec<Poa>>,
+        ctx: &mut Ctx<StrawmanMsg>,
+    ) {
         if self.slot_leader(slot) != from {
             return;
         }
@@ -314,7 +342,14 @@ impl StrawmanNode {
         ctx.send(from, StrawmanMsg::Vote { slot, content, sig });
     }
 
-    fn on_vote(&mut self, from: PartyId, slot: u64, content: Digest, sig: Signature, ctx: &mut Ctx<StrawmanMsg>) {
+    fn on_vote(
+        &mut self,
+        from: PartyId,
+        slot: u64,
+        content: Digest,
+        sig: Signature,
+        ctx: &mut Ctx<StrawmanMsg>,
+    ) {
         ctx.charge(ctx.cost().aggregate(1));
         let quorum = self.quorum();
         let n = self.n();
@@ -330,13 +365,27 @@ impl StrawmanNode {
             let cert = Arc::new(AggregateSignature::aggregate(n, sigs));
             let poas = Arc::clone(poas);
             for p in parties {
-                ctx.send(p, StrawmanMsg::Commit { slot, content, cert: Arc::clone(&cert) });
+                ctx.send(
+                    p,
+                    StrawmanMsg::Commit {
+                        slot,
+                        content,
+                        cert: Arc::clone(&cert),
+                    },
+                );
             }
             let _ = poas;
         }
     }
 
-    fn on_commit(&mut self, slot: u64, content: Digest, cert: Arc<AggregateSignature>, poas: Option<Arc<Vec<Poa>>>, ctx: &mut Ctx<StrawmanMsg>) {
+    fn on_commit(
+        &mut self,
+        slot: u64,
+        content: Digest,
+        cert: Arc<AggregateSignature>,
+        poas: Option<Arc<Vec<Poa>>>,
+        ctx: &mut Ctx<StrawmanMsg>,
+    ) {
         if self.committed_slots.contains_key(&slot) {
             return;
         }
@@ -391,7 +440,12 @@ impl Protocol<StrawmanMsg> for StrawmanNode {
     fn on_message(&mut self, from: PartyId, msg: StrawmanMsg, ctx: &mut Ctx<StrawmanMsg>) {
         match msg {
             StrawmanMsg::Disseminate { block, seq } => self.on_disseminate(from, block, seq, ctx),
-            StrawmanMsg::Ack { owner, seq, block_digest, sig } => {
+            StrawmanMsg::Ack {
+                owner,
+                seq,
+                block_digest,
+                sig,
+            } => {
                 if owner == self.cfg.me {
                     self.on_ack(from, seq, block_digest, sig, ctx);
                 }
@@ -404,7 +458,11 @@ impl Protocol<StrawmanMsg> for StrawmanNode {
                 self.on_propose(from, slot, poas, ctx);
             }
             StrawmanMsg::Vote { slot, content, sig } => self.on_vote(from, slot, content, sig, ctx),
-            StrawmanMsg::Commit { slot, content, cert } => {
+            StrawmanMsg::Commit {
+                slot,
+                content,
+                cert,
+            } => {
                 let poas = self.slot_votes.get(&slot).map(|(_, p, _)| Arc::clone(p));
                 self.on_commit(slot, content, cert, poas, ctx);
             }
@@ -481,7 +539,10 @@ mod tests {
             let node = sim.node(PartyId(i));
             assert!(!node.committed.is_empty(), "node {i} committed nothing");
             // Only clan members' blocks appear.
-            assert!(node.committed.iter().all(|c| [0, 2, 4].contains(&c.owner.0)));
+            assert!(node
+                .committed
+                .iter()
+                .all(|c| [0, 2, 4].contains(&c.owner.0)));
         }
         // All nodes agree on slot contents.
         let key = |c: &StrawmanCommit| (c.slot, c.owner, c.seq);

@@ -13,7 +13,10 @@ pub struct VoteTracker {
 impl VoteTracker {
     /// A tracker over a tribe of `n` parties.
     pub fn new(n: usize) -> VoteTracker {
-        VoteTracker { n, votes: HashMap::new() }
+        VoteTracker {
+            n,
+            votes: HashMap::new(),
+        }
     }
 
     /// Records a vote; returns the new count, or `None` for a duplicate.
@@ -30,7 +33,9 @@ impl VoteTracker {
 
     /// Current count for `(round, vertex_id)`.
     pub fn count(&self, round: Round, vertex_id: &Digest) -> usize {
-        self.votes.get(&(round, *vertex_id)).map_or(0, Bitmap::count)
+        self.votes
+            .get(&(round, *vertex_id))
+            .map_or(0, Bitmap::count)
     }
 
     /// Drops rounds below `round`.
@@ -59,7 +64,10 @@ pub struct TimeoutRound {
 impl TimeoutTracker {
     /// A tracker over a tribe of `n` parties.
     pub fn new(n: usize) -> TimeoutTracker {
-        TimeoutTracker { n, per_round: HashMap::new() }
+        TimeoutTracker {
+            n,
+            per_round: HashMap::new(),
+        }
     }
 
     /// Records an announcement; returns the new count, or `None` for a

@@ -131,9 +131,19 @@ fn sailfish_baseline_commits_and_agrees() {
     assert_prefix_consistent(&sim, &all);
     for i in 0..4u32 {
         let node = sim.node(PartyId(i));
-        assert!(node.last_committed().is_some(), "node {i} committed nothing");
-        assert!(node.committed_txs() > 0, "node {i} committed no transactions");
-        assert!(node.round() >= Round(8), "node {i} stuck at {}", node.round());
+        assert!(
+            node.last_committed().is_some(),
+            "node {i} committed nothing"
+        );
+        assert!(
+            node.committed_txs() > 0,
+            "node {i} committed no transactions"
+        );
+        assert!(
+            node.round() >= Round(8),
+            "node {i} stuck at {}",
+            node.round()
+        );
     }
     // Every proposer's blocks appear in the order.
     let order = order_of(sim.node(PartyId(0)));
@@ -160,7 +170,10 @@ fn single_clan_commits_with_consistent_order() {
         .iter()
         .filter(|c| ![0, 2, 4].contains(&c.vertex.source.0))
         .collect();
-    assert!(!empty_block_vertices.is_empty(), "non-clan vertices participate");
+    assert!(
+        !empty_block_vertices.is_empty(),
+        "non-clan vertices participate"
+    );
     assert!(
         empty_block_vertices.iter().all(|c| c.block_tx_count == 0),
         "non-clan parties must not carry transactions"
@@ -202,7 +215,11 @@ fn execution_is_consistent_within_clans() {
     let roots: Vec<_> = [0u32, 2, 4]
         .iter()
         .map(|&i| {
-            let e = sim.node(PartyId(i)).executor.as_ref().expect("clan executes");
+            let e = sim
+                .node(PartyId(i))
+                .executor
+                .as_ref()
+                .expect("clan executes");
             (e.executed_txs(), e.state_root())
         })
         .collect();
@@ -210,7 +227,14 @@ fn execution_is_consistent_within_clans() {
     // Compare at the shortest executed prefix via receipts.
     let min_len = [0u32, 2, 4]
         .iter()
-        .map(|&i| sim.node(PartyId(i)).executor.as_ref().unwrap().receipts().len())
+        .map(|&i| {
+            sim.node(PartyId(i))
+                .executor
+                .as_ref()
+                .unwrap()
+                .receipts()
+                .len()
+        })
         .min()
         .unwrap();
     assert!(min_len > 0);
@@ -226,13 +250,16 @@ fn execution_is_consistent_within_clans() {
         assert_eq!(essence(i), reference, "node {i} diverged in execution");
     }
     // Non-clan members do not execute.
-    assert!(sim.node(PartyId(1)).executor.is_none() || sim
-        .node(PartyId(1))
-        .executor
-        .as_ref()
-        .unwrap()
-        .receipts()
-        .is_empty());
+    assert!(
+        sim.node(PartyId(1)).executor.is_none()
+            || sim
+                .node(PartyId(1))
+                .executor
+                .as_ref()
+                .unwrap()
+                .receipts()
+                .is_empty()
+    );
 }
 
 #[test]

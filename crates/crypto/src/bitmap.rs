@@ -11,7 +11,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// Creates an empty bitmap able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Bitmap {
-        Bitmap { words: vec![0; capacity.div_ceil(64)], capacity }
+        Bitmap {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The capacity this bitmap was created with.
@@ -25,7 +28,11 @@ impl Bitmap {
     ///
     /// Panics if `i >= capacity`.
     pub fn set(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         let fresh = *word & mask == 0;
@@ -39,7 +46,11 @@ impl Bitmap {
     ///
     /// Panics if `i >= capacity`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 

@@ -183,9 +183,7 @@ mod tests {
 
     #[test]
     fn p_constant_is_correct() {
-        let p = U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        );
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         assert_eq!(p, P);
     }
 

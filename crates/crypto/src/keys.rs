@@ -14,9 +14,9 @@
 //!   does not distort measured latencies.
 
 use crate::digest::{Digest, Hasher};
+use crate::prng::ClanRng;
 use crate::scalar::Scalar;
 use crate::schnorr::{self, Signature};
-use rand::RngCore;
 use std::sync::Arc;
 
 /// Which signature scheme a registry (and all its authenticators) uses.
@@ -62,13 +62,21 @@ impl Keypair {
                     sk = Scalar::ONE;
                 }
                 let public = PublicKey(schnorr::public_key(&sk));
-                Keypair { public, secret: SecretKey(sk.to_be_bytes()), scheme }
+                Keypair {
+                    public,
+                    secret: SecretKey(sk.to_be_bytes()),
+                    scheme,
+                }
             }
             Scheme::Keyed => {
                 let id = Hasher::new("clanbft/keyed-pk").chain(&seed).finalize();
                 let mut pk = [0u8; 64];
                 pk[..32].copy_from_slice(id.as_bytes());
-                Keypair { public: PublicKey(pk), secret: SecretKey(seed), scheme }
+                Keypair {
+                    public: PublicKey(pk),
+                    secret: SecretKey(seed),
+                    scheme,
+                }
             }
         }
     }
@@ -86,8 +94,14 @@ impl Keypair {
 }
 
 fn keyed_sign(secret: &SecretKey, msg: &[u8]) -> Signature {
-    let a = Hasher::new("clanbft/keyed-sig-a").chain(&secret.0).chain(msg).finalize();
-    let b = Hasher::new("clanbft/keyed-sig-b").chain(&secret.0).chain(msg).finalize();
+    let a = Hasher::new("clanbft/keyed-sig-a")
+        .chain(&secret.0)
+        .chain(msg)
+        .finalize();
+    let b = Hasher::new("clanbft/keyed-sig-b")
+        .chain(&secret.0)
+        .chain(msg)
+        .finalize();
     let mut out = [0u8; 64];
     out[..32].copy_from_slice(a.as_bytes());
     out[32..].copy_from_slice(b.as_bytes());
@@ -130,9 +144,7 @@ impl Registry {
 
     /// Generates keypairs with OS randomness (non-deterministic runs).
     pub fn generate_random(scheme: Scheme, n: usize) -> (Arc<Registry>, Vec<Keypair>) {
-        let mut seed = [0u8; 8];
-        rand::thread_rng().fill_bytes(&mut seed);
-        Self::generate(scheme, n, u64::from_le_bytes(seed))
+        Self::generate(scheme, n, ClanRng::from_os_entropy().next_u64())
     }
 
     /// Number of registered parties.
@@ -184,7 +196,11 @@ pub struct Authenticator {
 impl Authenticator {
     /// Binds `keypair` (party `index`) to the shared `registry`.
     pub fn new(index: usize, keypair: Keypair, registry: Arc<Registry>) -> Authenticator {
-        Authenticator { index, keypair, registry }
+        Authenticator {
+            index,
+            keypair,
+            registry,
+        }
     }
 
     /// Signs a digest.
@@ -261,6 +277,25 @@ mod tests {
             assert_eq!(r1.public(i), r2.public(i));
         }
         assert_ne!(r1.public(0), r3.public(0));
+    }
+
+    /// Two OS-entropy registries must differ, while seeded generation stays
+    /// byte-for-byte reproducible next to them.
+    #[test]
+    fn random_generation_is_random_seeded_stays_reproducible() {
+        let (ra, _) = Registry::generate_random(Scheme::Keyed, 3);
+        let (rb, _) = Registry::generate_random(Scheme::Keyed, 3);
+        assert_ne!(
+            ra.public(0).0.as_slice(),
+            rb.public(0).0.as_slice(),
+            "two generate_random calls produced identical keys"
+        );
+        let (s1, k1) = Registry::generate(Scheme::Keyed, 3, 7);
+        let (s2, k2) = Registry::generate(Scheme::Keyed, 3, 7);
+        for i in 0..3 {
+            assert_eq!(s1.public(i).0.as_slice(), s2.public(i).0.as_slice());
+            assert_eq!(k1[i].public, k2[i].public);
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`multisig`] — bitmap-indexed aggregate certificates standing in for the
 //!   BLS multi-signatures used by the paper (see `DESIGN.md`, substitution 3).
 //! * [`bitmap`] — the compact signer bitmap itself.
+//! * [`prng`] — a deterministic SHA-256-CTR generator ([`ClanRng`]), the
+//!   workspace's only randomness source (see `DESIGN.md`, "Zero-dependency
+//!   policy").
 //!
 //! # Security note
 //!
@@ -27,6 +30,7 @@ pub mod field;
 pub mod keys;
 pub mod multisig;
 pub mod point;
+pub mod prng;
 pub mod scalar;
 pub mod schnorr;
 pub mod sha256;
@@ -36,4 +40,5 @@ pub use bitmap::Bitmap;
 pub use digest::{Digest, Hasher};
 pub use keys::{Authenticator, Keypair, PublicKey, Registry, Scheme, SecretKey};
 pub use multisig::AggregateSignature;
+pub use prng::ClanRng;
 pub use schnorr::Signature;

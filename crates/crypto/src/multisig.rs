@@ -165,8 +165,7 @@ mod tests {
     fn bls_wire_size_model() {
         let (_, auths) = setup(150);
         let msg = b"m";
-        let pairs: Vec<(usize, Signature)> =
-            (0..101).map(|i| (i, auths[i].sign(msg))).collect();
+        let pairs: Vec<(usize, Signature)> = (0..101).map(|i| (i, auths[i].sign(msg))).collect();
         let agg = AggregateSignature::aggregate(150, &pairs);
         // 64-byte aggregate + ⌈150/8⌉ = 19-byte bitmap, independent of the
         // number of actual contributions.

@@ -24,12 +24,20 @@ const GY: &str = "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4
 impl Point {
     /// The point at infinity (group identity).
     pub fn infinity() -> Point {
-        Point { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+        Point {
+            x: Fe::ONE,
+            y: Fe::ONE,
+            z: Fe::ZERO,
+        }
     }
 
     /// The standard generator `G`.
     pub fn generator() -> Point {
-        Point { x: Fe::from_hex(GX), y: Fe::from_hex(GY), z: Fe::ONE }
+        Point {
+            x: Fe::from_hex(GX),
+            y: Fe::from_hex(GY),
+            z: Fe::ONE,
+        }
     }
 
     /// Builds a point from affine coordinates.
@@ -96,7 +104,11 @@ impl Point {
         let x3 = f.sub(&d.double());
         let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_small(8));
         let z3 = self.y.mul(&self.z).double();
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General point addition.
@@ -115,7 +127,11 @@ impl Point {
         let s1 = self.y.mul(&other.z).mul(&z2z2);
         let s2 = other.y.mul(&self.z).mul(&z1z1);
         if u1 == u2 {
-            return if s1 == s2 { self.double() } else { Point::infinity() };
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Point::infinity()
+            };
         }
         let h = u2.sub(&u1);
         let i = h.double().square();
@@ -125,12 +141,20 @@ impl Point {
         let x3 = r.square().sub(&j).sub(&v.double());
         let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
         let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point negation.
     pub fn neg(&self) -> Point {
-        Point { x: self.x, y: self.y.neg(), z: self.z }
+        Point {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
     }
 
     /// Scalar multiplication `k·self` (double-and-add, MSB first).

@@ -118,9 +118,7 @@ mod tests {
 
     #[test]
     fn n_constant_is_correct() {
-        let n = U256::from_hex(
-            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
-        );
+        let n = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
         assert_eq!(n, N);
     }
 
@@ -133,7 +131,8 @@ mod tests {
 
     #[test]
     fn mul_and_invert() {
-        let a = Scalar::from_hex("deadbeefcafebabe123456789abcdef0fedcba9876543210ffffffffffffffff");
+        let a =
+            Scalar::from_hex("deadbeefcafebabe123456789abcdef0fedcba9876543210ffffffffffffffff");
         assert_eq!(a.mul(&a.invert()), Scalar::ONE);
         let b = Scalar::from_u64(7);
         assert_eq!(b.mul(&b.invert()), Scalar::ONE);
@@ -157,9 +156,12 @@ mod tests {
 
     #[test]
     fn associativity_spot_check() {
-        let a = Scalar::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
-        let b = Scalar::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb");
-        let c = Scalar::from_hex("cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc");
+        let a =
+            Scalar::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        let b =
+            Scalar::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb");
+        let c =
+            Scalar::from_hex("cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc");
         assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
     }
 }

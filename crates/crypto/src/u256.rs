@@ -136,9 +136,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (other.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (other.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -276,7 +274,10 @@ mod tests {
     fn hex_roundtrip() {
         let v = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
         assert_eq!(
-            v.to_be_bytes().iter().map(|b| format!("{b:02x}")).collect::<String>(),
+            v.to_be_bytes()
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>(),
             "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
         );
     }

@@ -33,7 +33,10 @@ pub fn commit_chain(
     let mut r = new_leader.round.0;
     while r > floor {
         r -= 1;
-        let candidate = VertexRef { round: Round(r), source: leader_at(Round(r)) };
+        let candidate = VertexRef {
+            round: Round(r),
+            source: leader_at(Round(r)),
+        };
         if dag.get(&candidate).is_some() && dag.exists_strong_path(&head, &candidate) {
             chain.push(candidate);
             head = candidate;
@@ -70,7 +73,10 @@ mod tests {
             block_tx_count: 0,
             strong_edges: strong
                 .iter()
-                .map(|&(r, s)| VertexRef { round: Round(r), source: PartyId(s) })
+                .map(|&(r, s)| VertexRef {
+                    round: Round(r),
+                    source: PartyId(s),
+                })
                 .collect(),
             weak_edges: Vec::new(),
             nvc: None,
@@ -79,7 +85,10 @@ mod tests {
     }
 
     fn vref(round: u64, source: u32) -> VertexRef {
-        VertexRef { round: Round(round), source: PartyId(source) }
+        VertexRef {
+            round: Round(round),
+            source: PartyId(source),
+        }
     }
 
     /// Leader of round r is party r mod 4.

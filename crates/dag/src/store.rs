@@ -110,7 +110,9 @@ impl Dag {
                 continue;
             };
             for w in waiters {
-                let Some(v) = self.pending.get(&w) else { continue };
+                let Some(v) = self.pending.get(&w) else {
+                    continue;
+                };
                 if let Some(missing) = self.first_missing_parent(v) {
                     self.waiting_on.entry(missing).or_default().push(w);
                     continue;
@@ -124,7 +126,10 @@ impl Dag {
 
     fn make_live(&mut self, vertex: Vertex, live: &mut Vec<VertexRef>) {
         let vref = vertex.reference();
-        self.rounds.entry(vref.round).or_default().insert(vref.source, vertex);
+        self.rounds
+            .entry(vref.round)
+            .or_default()
+            .insert(vref.source, vertex);
         live.push(vref);
     }
 
@@ -252,11 +257,17 @@ mod tests {
             block_tx_count: 0,
             strong_edges: strong
                 .iter()
-                .map(|&(r, s)| VertexRef { round: Round(r), source: PartyId(s) })
+                .map(|&(r, s)| VertexRef {
+                    round: Round(r),
+                    source: PartyId(s),
+                })
                 .collect(),
             weak_edges: weak
                 .iter()
-                .map(|&(r, s)| VertexRef { round: Round(r), source: PartyId(s) })
+                .map(|&(r, s)| VertexRef {
+                    round: Round(r),
+                    source: PartyId(s),
+                })
                 .collect(),
             nvc: None,
             tc: None,
@@ -264,14 +275,20 @@ mod tests {
     }
 
     fn vref(round: u64, source: u32) -> VertexRef {
-        VertexRef { round: Round(round), source: PartyId(source) }
+        VertexRef {
+            round: Round(round),
+            source: PartyId(source),
+        }
     }
 
     /// A fully-connected 4-party DAG over `rounds` rounds.
     fn full_dag(rounds: u64) -> Dag {
         let mut dag = Dag::new(TribeParams::new(4));
         for s in 0..4 {
-            assert!(matches!(dag.insert(vertex(0, s, &[], &[])), InsertOutcome::Live(_)));
+            assert!(matches!(
+                dag.insert(vertex(0, s, &[], &[])),
+                InsertOutcome::Live(_)
+            ));
         }
         for r in 1..=rounds {
             let parents: Vec<(u64, u32)> = (0..4).map(|s| (r - 1, s)).collect();
@@ -297,7 +314,10 @@ mod tests {
     #[test]
     fn duplicate_rejected() {
         let mut dag = full_dag(1);
-        assert_eq!(dag.insert(vertex(1, 0, &[(0, 0)], &[])), InsertOutcome::Duplicate);
+        assert_eq!(
+            dag.insert(vertex(1, 0, &[(0, 0)], &[])),
+            InsertOutcome::Duplicate
+        );
     }
 
     #[test]
@@ -307,8 +327,14 @@ mod tests {
         let v1 = vertex(1, 0, &[(0, 0), (0, 1), (0, 2)], &[]);
         assert_eq!(dag.insert(v1), InsertOutcome::Pending);
         assert_eq!(dag.pending_count(), 1);
-        assert!(matches!(dag.insert(vertex(0, 0, &[], &[])), InsertOutcome::Live(_)));
-        assert!(matches!(dag.insert(vertex(0, 1, &[], &[])), InsertOutcome::Live(_)));
+        assert!(matches!(
+            dag.insert(vertex(0, 0, &[], &[])),
+            InsertOutcome::Live(_)
+        ));
+        assert!(matches!(
+            dag.insert(vertex(0, 1, &[], &[])),
+            InsertOutcome::Live(_)
+        ));
         // The final parent unblocks the pending vertex in the same call.
         match dag.insert(vertex(0, 2, &[], &[])) {
             InsertOutcome::Live(live) => {
@@ -326,7 +352,10 @@ mod tests {
         for r in (1..=5).rev() {
             let parents: Vec<(u64, u32)> = (0..3).map(|s| (r - 1, s)).collect();
             for s in 0..3 {
-                assert_eq!(dag.insert(vertex(r, s, &parents, &[])), InsertOutcome::Pending);
+                assert_eq!(
+                    dag.insert(vertex(r, s, &parents, &[])),
+                    InsertOutcome::Pending
+                );
             }
         }
         assert_eq!(dag.pending_count(), 15);
@@ -352,9 +381,18 @@ mod tests {
         dag.insert(vertex(2, 0, &[(1, 0)], &[]));
         assert!(dag.exists_strong_path(&vref(2, 0), &vref(1, 0)));
         assert!(dag.exists_strong_path(&vref(2, 0), &vref(0, 2)));
-        assert!(!dag.exists_strong_path(&vref(2, 0), &vref(0, 3)), "0,3 only via (1,1)");
-        assert!(!dag.exists_strong_path(&vref(1, 0), &vref(2, 0)), "no upward paths");
-        assert!(dag.exists_strong_path(&vref(1, 1), &vref(1, 1)), "reflexive");
+        assert!(
+            !dag.exists_strong_path(&vref(2, 0), &vref(0, 3)),
+            "0,3 only via (1,1)"
+        );
+        assert!(
+            !dag.exists_strong_path(&vref(1, 0), &vref(2, 0)),
+            "no upward paths"
+        );
+        assert!(
+            dag.exists_strong_path(&vref(1, 1), &vref(1, 1)),
+            "reflexive"
+        );
     }
 
     #[test]
@@ -385,11 +423,16 @@ mod tests {
         let h1 = dag.take_causal_history(&vref(2, 1));
         // Root present, sorted ascending, root included.
         assert!(h1.contains(&vref(2, 1)));
-        assert!(h1.windows(2).all(|w| (w[0].round, w[0].source) < (w[1].round, w[1].source)));
+        assert!(h1
+            .windows(2)
+            .all(|w| (w[0].round, w[0].source) < (w[1].round, w[1].source)));
         assert_eq!(h1.len(), 4 + 4 + 1); // rounds 0,1 fully + root
-        // Second commit takes only the delta.
+                                         // Second commit takes only the delta.
         let h2 = dag.take_causal_history(&vref(3, 0));
-        assert!(h2.iter().all(|r| !h1.contains(r)), "no vertex ordered twice");
+        assert!(
+            h2.iter().all(|r| !h1.contains(r)),
+            "no vertex ordered twice"
+        );
         assert!(h2.contains(&vref(2, 0)));
         assert!(h2.contains(&vref(3, 0)));
         // Already ordered root yields nothing.
@@ -407,7 +450,10 @@ mod tests {
         assert_eq!(dag.horizon(), Round(2));
         // New vertices referencing pruned rounds insert fine.
         let out = dag.insert(vertex(5, 0, &[], &[]));
-        assert!(matches!(out, InsertOutcome::Live(_) | InsertOutcome::Pending));
+        assert!(matches!(
+            out,
+            InsertOutcome::Live(_) | InsertOutcome::Pending
+        ));
     }
 
     #[test]

@@ -141,7 +141,11 @@ pub struct Effects<P: TribePayload> {
 
 impl<P: TribePayload> Default for Effects<P> {
     fn default() -> Self {
-        Effects { out: Vec::new(), events: Vec::new(), charge: Micros::ZERO }
+        Effects {
+            out: Vec::new(),
+            events: Vec::new(),
+            charge: Micros::ZERO,
+        }
     }
 }
 
@@ -180,7 +184,11 @@ pub(crate) struct EchoSet {
 
 impl EchoSet {
     fn new(n: usize) -> EchoSet {
-        EchoSet { all: Bitmap::new(n), clan_count: 0, sigs: Vec::new() }
+        EchoSet {
+            all: Bitmap::new(n),
+            clan_count: 0,
+            sigs: Vec::new(),
+        }
     }
 }
 
@@ -253,9 +261,9 @@ impl<P: TribePayload> Instance<P> {
     }
 
     pub(crate) fn ready_set(&mut self, n: usize, digest: Digest) -> &mut ReadySet {
-        self.readies
-            .entry(digest)
-            .or_insert_with(|| ReadySet { all: Bitmap::new(n) })
+        self.readies.entry(digest).or_insert_with(|| ReadySet {
+            all: Bitmap::new(n),
+        })
     }
 }
 
@@ -302,7 +310,10 @@ pub(crate) struct Core<P: TribePayload> {
 
 impl<P: TribePayload> Core<P> {
     pub(crate) fn new(cfg: EngineConfig) -> Core<P> {
-        Core { cfg, instances: HashMap::new() }
+        Core {
+            cfg,
+            instances: HashMap::new(),
+        }
     }
 
     pub(crate) fn instance(&mut self, round: Round, source: PartyId) -> &mut Instance<P> {
@@ -439,7 +450,11 @@ impl<P: TribePayload> Core<P> {
                 return;
             }
             inst.certified = Some(digest);
-            fx.events.push(RbcEvent::Certified { source, round, digest });
+            fx.events.push(RbcEvent::Certified {
+                source,
+                round,
+                digest,
+            });
             if inst.delivered {
                 Act::Nothing
             } else if full_receiver {
@@ -447,7 +462,11 @@ impl<P: TribePayload> Core<P> {
                     (Some(p), Some(d)) if d == digest => {
                         inst.delivered = true;
                         let payload = p.clone();
-                        fx.events.push(RbcEvent::DeliverFull { source, round, payload });
+                        fx.events.push(RbcEvent::DeliverFull {
+                            source,
+                            round,
+                            payload,
+                        });
                         Act::Nothing
                     }
                     _ => {
@@ -465,7 +484,11 @@ impl<P: TribePayload> Core<P> {
                     (Some(m), Some(d)) if d == digest => {
                         inst.delivered = true;
                         let meta = m.clone();
-                        fx.events.push(RbcEvent::DeliverMeta { source, round, meta });
+                        fx.events.push(RbcEvent::DeliverMeta {
+                            source,
+                            round,
+                            meta,
+                        });
                         Act::Nothing
                     }
                     _ => {
@@ -501,7 +524,11 @@ impl<P: TribePayload> Core<P> {
             return;
         }
         inst.echo_quorum_emitted = true;
-        fx.events.push(RbcEvent::EchoQuorum { source, round, digest });
+        fx.events.push(RbcEvent::EchoQuorum {
+            source,
+            round,
+            digest,
+        });
         let lacks_payload = inst.payload.is_none();
         if full_receiver && lacks_payload {
             // Gentle first probe: one clan echoer. In the good case the
@@ -591,7 +618,11 @@ impl<P: TribePayload> Core<P> {
             })
             .unwrap_or_default();
         if targets.is_empty() {
-            targets = (0..n as u32).map(PartyId).filter(|p| *p != me).take(f1).collect();
+            targets = (0..n as u32)
+                .map(PartyId)
+                .filter(|p| *p != me)
+                .take(f1)
+                .collect();
         }
         for t in targets {
             fx.send(t, source, round, RbcMsg::PullMeta { digest });
@@ -651,18 +682,28 @@ impl<P: TribePayload> Core<P> {
             return;
         }
         if full_receiver {
-            if let (Some(c), Some(p), Some(d)) = (inst.certified, &inst.payload, inst.payload_digest) {
+            if let (Some(c), Some(p), Some(d)) =
+                (inst.certified, &inst.payload, inst.payload_digest)
+            {
                 if d == c {
                     inst.delivered = true;
                     let payload = p.clone();
-                    fx.events.push(RbcEvent::DeliverFull { source, round, payload });
+                    fx.events.push(RbcEvent::DeliverFull {
+                        source,
+                        round,
+                        payload,
+                    });
                 }
             }
         } else if let (Some(c), Some(m), Some(d)) = (inst.certified, &inst.meta, inst.meta_digest) {
             if d == c {
                 inst.delivered = true;
                 let meta = m.clone();
-                fx.events.push(RbcEvent::DeliverMeta { source, round, meta });
+                fx.events.push(RbcEvent::DeliverMeta {
+                    source,
+                    round,
+                    meta,
+                });
             }
         }
     }

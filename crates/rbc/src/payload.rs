@@ -51,7 +51,10 @@ impl BytesPayload {
     /// Wraps `data`, computing its digest once.
     pub fn new(data: Vec<u8>) -> BytesPayload {
         let digest = Digest::of(&data);
-        BytesPayload { data: Arc::new(data), digest }
+        BytesPayload {
+            data: Arc::new(data),
+            digest,
+        }
     }
 
     /// The underlying bytes.

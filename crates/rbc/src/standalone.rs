@@ -92,10 +92,18 @@ impl<P: TribePayload> StandaloneNode<P> {
         ctx.charge(fx.charge);
         for ev in fx.events {
             match ev {
-                RbcEvent::DeliverFull { source, round, payload } => self
+                RbcEvent::DeliverFull {
+                    source,
+                    round,
+                    payload,
+                } => self
                     .deliveries
                     .push(Delivery::Full(source, round, payload, ctx.now())),
-                RbcEvent::DeliverMeta { source, round, meta } => self
+                RbcEvent::DeliverMeta {
+                    source,
+                    round,
+                    meta,
+                } => self
                     .deliveries
                     .push(Delivery::Meta(source, round, meta, ctx.now())),
                 RbcEvent::Certified { source, round, .. } => {
@@ -185,23 +193,36 @@ impl<P: TribePayload> Protocol<RbcPacket<P>> for ByzantineNode<P> {
                 let half = clan.len() / 2;
                 for (i, &p) in clan.iter().enumerate() {
                     let payload = if i < half { a.clone() } else { b.clone() };
-                    ctx.send(p, RbcPacket { source: me, round: *round, msg: RbcMsg::Val(payload) });
+                    ctx.send(
+                        p,
+                        RbcPacket {
+                            source: me,
+                            round: *round,
+                            msg: RbcMsg::Val(payload),
+                        },
+                    );
                 }
                 for p in (0..n as u32).map(PartyId) {
                     if !clan.contains(&p) {
                         // Outside the clan, alternate metas by parity.
-                        let meta =
-                            if p.0 % 2 == 0 { a.meta() } else { b.meta() };
+                        let meta = if p.0 % 2 == 0 { a.meta() } else { b.meta() };
                         ctx.send(
                             p,
-                            RbcPacket { source: me, round: *round, msg: RbcMsg::ValMeta(meta) },
+                            RbcPacket {
+                                source: me,
+                                round: *round,
+                                msg: RbcMsg::ValMeta(meta),
+                            },
                         );
                     }
                 }
             }
-            ByzantineSender::Selective { payload, full_recipients, round } => {
-                let full_set: Vec<PartyId> =
-                    clan.iter().copied().take(*full_recipients).collect();
+            ByzantineSender::Selective {
+                payload,
+                full_recipients,
+                round,
+            } => {
+                let full_set: Vec<PartyId> = clan.iter().copied().take(*full_recipients).collect();
                 let meta = payload.meta();
                 for p in (0..n as u32).map(PartyId) {
                     let msg = if full_set.contains(&p) {
@@ -209,10 +230,21 @@ impl<P: TribePayload> Protocol<RbcPacket<P>> for ByzantineNode<P> {
                     } else {
                         RbcMsg::ValMeta(meta.clone())
                     };
-                    ctx.send(p, RbcPacket { source: me, round: *round, msg });
+                    ctx.send(
+                        p,
+                        RbcPacket {
+                            source: me,
+                            round: *round,
+                            msg,
+                        },
+                    );
                 }
             }
-            ByzantineSender::DepriveMeta { payload, deprived, round } => {
+            ByzantineSender::DepriveMeta {
+                payload,
+                deprived,
+                round,
+            } => {
                 let meta = payload.meta();
                 for p in (0..n as u32).map(PartyId) {
                     if deprived.contains(&p) {
@@ -223,7 +255,14 @@ impl<P: TribePayload> Protocol<RbcPacket<P>> for ByzantineNode<P> {
                     } else {
                         RbcMsg::ValMeta(meta.clone())
                     };
-                    ctx.send(p, RbcPacket { source: me, round: *round, msg });
+                    ctx.send(
+                        p,
+                        RbcPacket {
+                            source: me,
+                            round: *round,
+                            msg,
+                        },
+                    );
                 }
             }
             ByzantineSender::Silent => {}

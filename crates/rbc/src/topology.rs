@@ -30,7 +30,11 @@ impl ClanInfo {
         let nc = members.len();
         assert!(nc >= 1, "clan cannot be empty");
         let clan_quorum = (nc - 1) / 2 + 1;
-        ClanInfo { members, member_bits, clan_quorum }
+        ClanInfo {
+            members,
+            member_bits,
+            clan_quorum,
+        }
     }
 
     /// True iff `p` belongs to this clan.
@@ -104,7 +108,11 @@ impl ClanTopology {
         for (p, &c) in clan_of_sender.iter().enumerate() {
             assert!(c != usize::MAX, "party P{p} belongs to no clan");
         }
-        ClanTopology { tribe, clans: infos, clan_of_sender }
+        ClanTopology {
+            tribe,
+            clans: infos,
+            clan_of_sender,
+        }
     }
 
     /// Tribe parameters.

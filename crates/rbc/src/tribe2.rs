@@ -33,7 +33,11 @@ pub struct TribeRbc2<P: TribePayload> {
 impl<P: TribePayload> TribeRbc2<P> {
     /// Creates the engine for one party.
     pub fn new(cfg: EngineConfig, auth: Arc<Authenticator>) -> TribeRbc2<P> {
-        TribeRbc2 { core: Core::new(cfg), auth, verify_sigs: true }
+        TribeRbc2 {
+            core: Core::new(cfg),
+            auth,
+            verify_sigs: true,
+        }
     }
 
     /// Disables real signature verification (cost-model charges remain).
@@ -167,7 +171,15 @@ impl<P: TribePayload> TribeRbc2<P> {
         fx.charge(self.core.cfg.cost.sign());
         let sig = Arc::new(self.auth.sign_digest(&statement));
         for p in parties {
-            fx.send(p, source, round, RbcMsg::Echo { digest, sig: Some(Arc::clone(&sig)) });
+            fx.send(
+                p,
+                source,
+                round,
+                RbcMsg::Echo {
+                    digest,
+                    sig: Some(Arc::clone(&sig)),
+                },
+            );
         }
     }
 
@@ -197,7 +209,15 @@ impl<P: TribePayload> TribeRbc2<P> {
         };
         for p in parties {
             if p != self.core.cfg.me {
-                fx.send(p, source, round, RbcMsg::EchoCert { digest, cert: Arc::clone(&cert) });
+                fx.send(
+                    p,
+                    source,
+                    round,
+                    RbcMsg::EchoCert {
+                        digest,
+                        cert: Arc::clone(&cert),
+                    },
+                );
             }
         }
         self.core.on_echo_quorum(round, source, digest, fx);
@@ -224,18 +244,14 @@ impl<P: TribePayload> TribeRbc2<P> {
                 AggregateVerdict::Invalid(bad) => {
                     // Blame path: individual verification to identify
                     // culprits (charged per paper's fallback).
-                    fx.charge(
-                        self.core.cfg.cost.sig_verify() * cert.count() as u32,
-                    );
+                    fx.charge(self.core.cfg.cost.sig_verify() * cert.count() as u32);
                     bad
                 }
             }
         } else {
             Vec::new()
         };
-        let good_total = cert
-            .signers
-            .count_matching(|i| !culprits.contains(&i));
+        let good_total = cert.signers.count_matching(|i| !culprits.contains(&i));
         let good_clan = cert
             .signers
             .count_matching(|i| !culprits.contains(&i) && clan.contains(PartyId(i as u32)));
@@ -263,7 +279,15 @@ impl<P: TribePayload> TribeRbc2<P> {
         }
         for p in parties {
             if p != me {
-                fx.send(p, source, round, RbcMsg::EchoCert { digest, cert: Arc::clone(&cert) });
+                fx.send(
+                    p,
+                    source,
+                    round,
+                    RbcMsg::EchoCert {
+                        digest,
+                        cert: Arc::clone(&cert),
+                    },
+                );
             }
         }
     }

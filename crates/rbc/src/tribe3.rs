@@ -20,7 +20,9 @@ pub struct TribeRbc3<P: TribePayload> {
 impl<P: TribePayload> TribeRbc3<P> {
     /// Creates the engine for one party.
     pub fn new(cfg: EngineConfig) -> TribeRbc3<P> {
-        TribeRbc3 { core: Core::new(cfg) }
+        TribeRbc3 {
+            core: Core::new(cfg),
+        }
     }
 
     /// The engine configuration.

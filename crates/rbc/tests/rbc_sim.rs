@@ -40,7 +40,11 @@ fn setup(n: usize, clan: Option<Vec<u32>>, seed: u64) -> Setup {
     let mut cfg = SimConfig::benign(n, seed);
     cfg.cost = CostModel::free();
     cfg.jitter_frac = 0.0;
-    Setup { topology, auths, cfg }
+    Setup {
+        topology,
+        auths,
+        cfg,
+    }
 }
 
 fn honest(setup: &Setup, i: usize, variant: &Variant) -> StandaloneNode<BytesPayload> {
@@ -111,7 +115,11 @@ fn honest_sender_case(variant: Variant) {
         if clan.contains(&(i as u32)) {
             let fulls = full_deliveries(node);
             assert_eq!(fulls.len(), 1, "clan node {i} delivers once");
-            assert_eq!(fulls[0].2, vec![0xab; 2048], "clan node {i} has the payload");
+            assert_eq!(
+                fulls[0].2,
+                vec![0xab; 2048],
+                "clan node {i} has the payload"
+            );
         } else {
             let metas = meta_deliveries(node);
             assert_eq!(metas.len(), 1, "non-clan node {i} delivers once");

@@ -60,11 +60,7 @@ pub fn collect_metrics(
         .map(|(v, (_, t))| (v, t))
         .collect();
 
-    let committed_rounds = all_committed
-        .keys()
-        .map(|v| v.round.0)
-        .max()
-        .unwrap_or(0);
+    let committed_rounds = all_committed.keys().map(|v| v.round.0).max().unwrap_or(0);
 
     // Batch latency: creation time lives with the proposer.
     let in_window = |r: Round| r.0 >= warmup_rounds && r.0 <= last_round;
@@ -90,7 +86,11 @@ pub fn collect_metrics(
         }
     }
 
-    let window = if txs > 0 { t_max.saturating_sub(t_min) } else { Micros::ZERO };
+    let window = if txs > 0 {
+        t_max.saturating_sub(t_min)
+    } else {
+        Micros::ZERO
+    };
     let throughput_tps = if window > Micros::ZERO {
         txs as f64 / window.as_secs_f64()
     } else {
@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn percentile_weighted() {
-        let mut s = vec![
-            (Micros(100), 98),
-            (Micros(200), 1),
-            (Micros(300), 1),
-        ];
+        let mut s = vec![(Micros(100), 98), (Micros(200), 1), (Micros(300), 1)];
         assert_eq!(percentile(&mut s, 0.5), Micros(100));
         assert_eq!(percentile(&mut s, 0.99), Micros(200));
         assert_eq!(percentile(&mut s, 1.0), Micros(300));

@@ -90,9 +90,7 @@ fn make_topology(spec: &TribeSpec, latency: &LatencyMatrix) -> Arc<ClanTopology>
     let tribe = TribeParams::new(spec.n);
     let topo = match &spec.clans {
         None => ClanTopology::whole_tribe(tribe),
-        Some(clans) if clans.len() == 1 => {
-            ClanTopology::single_clan(tribe, clans[0].clone())
-        }
+        Some(clans) if clans.len() == 1 => ClanTopology::single_clan(tribe, clans[0].clone()),
         Some(clans) => ClanTopology::multi_clan(tribe, clans.clone()),
     };
     let _ = latency;
@@ -185,7 +183,11 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
         .filter(|p| !spec.crashes.iter().any(|(c, _)| c == p))
         .collect();
 
-    BuiltTribe { sim: Simulator::new(sim_cfg, nodes), topology, honest }
+    BuiltTribe {
+        sim: Simulator::new(sim_cfg, nodes),
+        topology,
+        honest,
+    }
 }
 
 #[cfg(test)]

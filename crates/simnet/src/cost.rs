@@ -126,7 +126,10 @@ mod tests {
         let c = CostModel::default();
         assert!(c.agg_verify(100) > Micros::ZERO);
         assert!(c.sign() > Micros::ZERO);
-        assert!(c.hash(3_000_000) > Micros(1000), "3MB hash should cost >1ms");
+        assert!(
+            c.hash(3_000_000) > Micros(1000),
+            "3MB hash should cost >1ms"
+        );
     }
 
     #[test]

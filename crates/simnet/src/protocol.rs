@@ -48,7 +48,14 @@ pub struct Ctx<'a, M: Message> {
 impl<'a, M: Message> Ctx<'a, M> {
     /// Builds a context for one handler invocation starting at `now`.
     pub fn new(party: PartyId, now: Micros, cost: &'a CostModel) -> Ctx<'a, M> {
-        Ctx { party, now, charged: Micros::ZERO, cost, outbox: Vec::new(), timers: Vec::new() }
+        Ctx {
+            party,
+            now,
+            charged: Micros::ZERO,
+            cost,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 
     /// This node's party id.

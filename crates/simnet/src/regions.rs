@@ -77,19 +77,28 @@ impl LatencyMatrix {
     /// even distribution) with Table 1 delays.
     pub fn evenly_distributed(n: usize) -> LatencyMatrix {
         let region_of = (0..n).map(|i| REGIONS[i % 5]).collect();
-        LatencyMatrix { region_of, one_way_us: Self::table1_one_way() }
+        LatencyMatrix {
+            region_of,
+            one_way_us: Self::table1_one_way(),
+        }
     }
 
     /// Places every node in a single region (near-zero latency; useful for
     /// isolating CPU/bandwidth effects in tests).
     pub fn single_region(n: usize) -> LatencyMatrix {
         let region_of = vec![Region::UsEast1; n];
-        LatencyMatrix { region_of, one_way_us: Self::table1_one_way() }
+        LatencyMatrix {
+            region_of,
+            one_way_us: Self::table1_one_way(),
+        }
     }
 
     /// Builds with an explicit region per node.
     pub fn with_regions(region_of: Vec<Region>) -> LatencyMatrix {
-        LatencyMatrix { region_of, one_way_us: Self::table1_one_way() }
+        LatencyMatrix {
+            region_of,
+            one_way_us: Self::table1_one_way(),
+        }
     }
 
     fn table1_one_way() -> [[u64; 5]; 5] {
@@ -151,7 +160,10 @@ mod tests {
         assert_eq!(d, Micros(57_375));
         // RTT recombines to the table value within rounding.
         let rtt = m.rtt(PartyId(0), PartyId(2));
-        let table = Micros(((114.75f64 / 2.0 * 1000.0).round() as u64) + ((115.40f64 / 2.0 * 1000.0).round() as u64));
+        let table = Micros(
+            ((114.75f64 / 2.0 * 1000.0).round() as u64)
+                + ((115.40f64 / 2.0 * 1000.0).round() as u64),
+        );
         assert_eq!(rtt, table);
     }
 

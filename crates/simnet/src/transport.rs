@@ -10,8 +10,8 @@
 use crate::cost::CostModel;
 use crate::protocol::{Ctx, Message, Protocol};
 use clanbft_types::{Micros, PartyId};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 enum Envelope<M> {
@@ -55,10 +55,15 @@ where
     P: Protocol<M> + 'static,
 {
     let n = nodes.len();
+    // `std::sync::mpsc::channel` is unbounded and supports `recv_timeout`,
+    // matching the semantics the transport needs: sends never block, and a
+    // node can wait on its inbox with a timer-driven deadline. Unlike a
+    // crossbeam receiver an mpsc receiver is single-consumer, which is
+    // exactly the topology here — each receiver moves into its node thread.
     let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -66,17 +71,14 @@ where
     let cost = CostModel::free();
 
     let mut handles = Vec::with_capacity(n);
-    for (i, mut node) in nodes.into_iter().enumerate() {
+    for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
         let me = PartyId(i as u32);
-        let rx = receivers[i].clone();
         let peers = senders.clone();
         handles.push(std::thread::spawn(move || {
             let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
             let now_us = |start: Instant| Micros(start.elapsed().as_micros() as u64);
 
-            let flush = |node: &mut P,
-                             timers: &mut BinaryHeap<PendingTimer>,
-                             ctx: Ctx<'_, M>| {
+            let flush = |node: &mut P, timers: &mut BinaryHeap<PendingTimer>, ctx: Ctx<'_, M>| {
                 let base = Instant::now();
                 for (delay, token) in &ctx.timers {
                     timers.push(PendingTimer {
@@ -173,7 +175,11 @@ mod tests {
     fn rumor_reaches_every_thread() {
         let n = 5u32;
         let nodes: Vec<GossipNode> = (0..n)
-            .map(|i| GossipNode { n, heard: vec![], origin: i == 0 })
+            .map(|i| GossipNode {
+                n,
+                heard: vec![],
+                origin: i == 0,
+            })
             .collect();
         let done = run_live(nodes, Duration::from_millis(200));
         for (i, node) in done.iter().enumerate() {
@@ -198,7 +204,10 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order() {
-        let done = run_live(vec![TimerNode { fired: vec![] }], Duration::from_millis(200));
+        let done = run_live(
+            vec![TimerNode { fired: vec![] }],
+            Duration::from_millis(200),
+        );
         assert_eq!(done[0].fired, vec![1, 2]);
     }
 }

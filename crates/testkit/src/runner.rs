@@ -1,0 +1,239 @@
+//! The property runner: case loop, failure reporting, shrink loop.
+
+use crate::gen::Gen;
+use crate::shrink::Shrink;
+
+/// Default run seed. Fixed so CI runs are deterministic; override with
+/// `TESTKIT_SEED` to explore fresh inputs.
+const DEFAULT_SEED: u64 = 0xC1A9_BF70;
+
+/// Upper bound on greedy shrink steps (each step re-runs the property once
+/// per candidate, so this also bounds shrink-phase work).
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Resolved run configuration (seed and case-count overrides).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Run seed every case derives from.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Replay exactly this case, if set.
+    pub only_case: Option<u64>,
+}
+
+impl Config {
+    /// Reads `TESTKIT_SEED` / `TESTKIT_CASES` / `TESTKIT_CASE` with
+    /// `default_cases` as the suite's baseline case count.
+    pub fn from_env(default_cases: u32) -> Config {
+        Config {
+            seed: env_u64("TESTKIT_SEED").unwrap_or(DEFAULT_SEED),
+            // Clamped to >= 1: zero cases would make every property pass
+            // vacuously.
+            cases: env_u64("TESTKIT_CASES")
+                .map(|v| (v as u32).max(1))
+                .unwrap_or(default_cases),
+            only_case: env_u64("TESTKIT_CASE"),
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Runs `prop` over `cases` generated inputs; panics with a reproduction
+/// line on the first falsified case. No shrinking — use [`check_shrink`]
+/// when the input type supports it.
+pub fn check<T, G, P>(name: &str, cases: u32, gen: G, prop: P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let cfg = Config::from_env(cases);
+    for case in case_range(&cfg) {
+        let value = gen(&mut Gen::for_case(cfg.seed, case));
+        if let Err(msg) = prop(&value) {
+            panic!(
+                "property '{name}' falsified at case {case}/{}\n  input: {value:?}\n  error: {msg}\n  {}",
+                cfg.cases,
+                repro_line(&cfg, case),
+            );
+        }
+    }
+}
+
+/// Like [`check`], but greedily shrinks a failing input before reporting.
+pub fn check_shrink<T, G, P>(name: &str, cases: u32, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let cfg = Config::from_env(cases);
+    for case in case_range(&cfg) {
+        let value = gen(&mut Gen::for_case(cfg.seed, case));
+        if let Err(msg) = prop(&value) {
+            let (shrunk, shrunk_msg) = shrink_failure(&value, &prop);
+            panic!(
+                "property '{name}' falsified at case {case}/{}\n  input:  {value:?}\n  shrunk: {shrunk:?}\n  error (original): {msg}\n  error (shrunk):   {shrunk_msg}\n  {}",
+                cfg.cases,
+                repro_line(&cfg, case),
+            );
+        }
+    }
+}
+
+fn case_range(cfg: &Config) -> std::ops::Range<u64> {
+    match cfg.only_case {
+        Some(c) => c..c + 1,
+        None => 0..cfg.cases as u64,
+    }
+}
+
+fn repro_line(cfg: &Config, case: u64) -> String {
+    format!(
+        "reproduce with: TESTKIT_SEED={} TESTKIT_CASE={case} cargo test",
+        cfg.seed
+    )
+}
+
+/// Greedy descent: take the first candidate that still fails, repeat.
+fn shrink_failure<T, P>(failing: &T, prop: &P) -> (T, String)
+where
+    T: Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut best = failing.clone();
+    let mut best_msg = prop(&best).err().unwrap_or_default();
+    'outer: for _ in 0..MAX_SHRINK_STEPS {
+        for cand in best.shrink_candidates() {
+            if let Err(msg) = prop(&cand) {
+                best = cand;
+                best_msg = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_msg)
+}
+
+/// Early-returns `Err` from a property closure when `cond` is false.
+#[macro_export]
+macro_rules! tk_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Early-returns `Err` when the two expressions differ.
+#[macro_export]
+macro_rules! tk_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Early-returns `Err` when the two expressions are equal.
+#[macro_export]
+macro_rules! tk_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "trivially true",
+            25,
+            |g| g.u64(),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics_with_report() {
+        check("always false", 10, |g| g.u64(), |_| Err("nope".to_string()));
+    }
+
+    #[test]
+    fn shrink_finds_boundary() {
+        // Property "v < 100" fails for v >= 100; greedy shrink from any
+        // failing start must land exactly on 100.
+        let prop = |v: &u64| -> Result<(), String> {
+            if *v < 100 {
+                Ok(())
+            } else {
+                Err(format!("{v} >= 100"))
+            }
+        };
+        let (shrunk, _) = shrink_failure(&87_654u64, &prop);
+        assert_eq!(shrunk, 100);
+    }
+
+    #[test]
+    fn shrink_vec_to_minimal_length() {
+        // Fails when the vec has >= 3 elements; minimal counterexample has 3.
+        let prop = |v: &Vec<u8>| -> Result<(), String> {
+            if v.len() < 3 {
+                Ok(())
+            } else {
+                Err("too long".to_string())
+            }
+        };
+        let (shrunk, _) = shrink_failure(&vec![9u8; 40], &prop);
+        assert_eq!(shrunk.len(), 3);
+    }
+
+    #[test]
+    fn macros_return_errors() {
+        fn p(v: u64) -> Result<(), String> {
+            tk_assert!(v != 3, "three is right out");
+            tk_assert_eq!(v % 2, v % 2);
+            tk_assert_ne!(v, 7);
+            Ok(())
+        }
+        assert!(p(4).is_ok());
+        assert_eq!(p(3).unwrap_err(), "three is right out");
+        assert!(p(7).unwrap_err().contains("!="));
+    }
+}

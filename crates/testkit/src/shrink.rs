@@ -1,0 +1,148 @@
+//! Simple structural shrinking for failing inputs.
+//!
+//! Candidates are ordered most-aggressive first (zero / empty before small
+//! decrements) so the greedy loop in the runner converges in few steps.
+
+/// A type whose failing values can propose simpler variants of themselves.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, most aggressive first. An empty vector
+    /// means the value is fully shrunk.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                out.push(v - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        out.push(Vec::new());
+        if self.len() >= 2 {
+            // Drop either half.
+            out.push(self[self.len() / 2..].to_vec());
+            out.push(self[..self.len() / 2].to_vec());
+        }
+        // Drop single elements (bounded so candidate lists stay small).
+        for i in 0..self.len().min(8) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink single elements in place (same bound).
+        for i in 0..self.len().min(8) {
+            for c in self[i].shrink_candidates().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = c;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone, const N: usize> Shrink for [T; N] {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for c in self[i].shrink_candidates().into_iter().take(2) {
+                let mut a = self.clone();
+                a[i] = c;
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$idx = c;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert_eq!(100u64.shrink_candidates(), vec![0, 50, 99]);
+        assert_eq!(1u64.shrink_candidates(), vec![0]);
+        assert!(0u64.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn vec_shrinks_toward_empty() {
+        let v = vec![3u32, 7, 9];
+        let cands = v.shrink_candidates();
+        assert!(cands.contains(&Vec::new()));
+        assert!(cands.iter().any(|c| c.len() == 2));
+        // element-wise shrink appears too
+        assert!(cands.iter().any(|c| c.len() == 3 && c[0] == 0));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_coordinate_at_a_time() {
+        let cands = (4u64, 2u64).shrink_candidates();
+        assert!(cands.contains(&(0, 2)));
+        assert!(cands.contains(&(4, 0)));
+        assert!(!cands.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn fully_shrunk_values_stop() {
+        let done: Vec<(u64, Vec<u8>)> = (0u64, Vec::<u8>::new()).shrink_candidates();
+        assert!(done.is_empty());
+    }
+}

@@ -25,13 +25,21 @@ pub struct Block {
 impl Block {
     /// Builds a block.
     pub fn new(proposer: PartyId, round: Round, batches: Vec<TxBatch>) -> Block {
-        Block { proposer, round, batches }
+        Block {
+            proposer,
+            round,
+            batches,
+        }
     }
 
     /// An empty block (a proposer with nothing to say still proposes, to
     /// keep the DAG advancing).
     pub fn empty(proposer: PartyId, round: Round) -> Block {
-        Block { proposer, round, batches: Vec::new() }
+        Block {
+            proposer,
+            round,
+            batches: Vec::new(),
+        }
     }
 
     /// Total number of transactions.
@@ -114,7 +122,10 @@ mod tests {
         assert_eq!(b.tx_count(), 1500);
         assert_eq!(b.tx_wire_bytes(), 1500 * 512);
         assert_eq!(b.earliest_created_at(), Some(Micros(10)));
-        assert_eq!(Block::empty(PartyId(0), Round(0)).earliest_created_at(), None);
+        assert_eq!(
+            Block::empty(PartyId(0), Round(0)).earliest_created_at(),
+            None
+        );
     }
 
     #[test]
@@ -135,7 +146,14 @@ mod tests {
             Block::new(
                 PartyId(1),
                 Round(1),
-                vec![TxBatch::with_payload(PartyId(1), 0, 1, 4, Micros(0), vec![byte; 4])],
+                vec![TxBatch::with_payload(
+                    PartyId(1),
+                    0,
+                    1,
+                    4,
+                    Micros(0),
+                    vec![byte; 4],
+                )],
             )
         };
         assert_ne!(mk(1).digest(), mk(2).digest());

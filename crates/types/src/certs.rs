@@ -34,7 +34,10 @@ pub struct TimeoutCert {
 impl TimeoutCert {
     /// Assembles a certificate from `(signer, signature)` pairs.
     pub fn new(round: Round, capacity: usize, pairs: &[(usize, Signature)]) -> TimeoutCert {
-        TimeoutCert { round, agg: AggregateSignature::aggregate(capacity, pairs) }
+        TimeoutCert {
+            round,
+            agg: AggregateSignature::aggregate(capacity, pairs),
+        }
     }
 
     /// Verifies the certificate against a quorum threshold.
@@ -56,7 +59,10 @@ pub struct NoVoteCert {
 impl NoVoteCert {
     /// Assembles a certificate from `(signer, signature)` pairs.
     pub fn new(round: Round, capacity: usize, pairs: &[(usize, Signature)]) -> NoVoteCert {
-        NoVoteCert { round, agg: AggregateSignature::aggregate(capacity, pairs) }
+        NoVoteCert {
+            round,
+            agg: AggregateSignature::aggregate(capacity, pairs),
+        }
     }
 
     /// Verifies the certificate against a quorum threshold.
@@ -185,7 +191,10 @@ mod tests {
         let (_, auths) = setup(7);
         let round = Round(3);
         let d = timeout_digest(round);
-        let pairs: Vec<_> = [0usize, 2, 5].iter().map(|&i| (i, auths[i].sign_digest(&d))).collect();
+        let pairs: Vec<_> = [0usize, 2, 5]
+            .iter()
+            .map(|&i| (i, auths[i].sign_digest(&d)))
+            .collect();
         let tc = TimeoutCert::new(round, 7, &pairs);
         let back = TimeoutCert::from_bytes(&tc.to_bytes()).unwrap();
         assert_eq!(back.round, round);

@@ -124,17 +124,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length prefix, rejecting absurd values.
@@ -449,7 +455,10 @@ mod tests {
     #[test]
     fn truncated_input_fails() {
         let bytes = 0xdeadbeefu32.to_bytes();
-        assert_eq!(u32::from_bytes(&bytes[..3]), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            u32::from_bytes(&bytes[..3]),
+            Err(DecodeError::UnexpectedEnd)
+        );
     }
 
     #[test]

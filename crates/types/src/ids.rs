@@ -151,7 +151,15 @@ mod tests {
 
     #[test]
     fn tribe_thresholds() {
-        for (n, f) in [(4, 1), (7, 2), (10, 3), (50, 16), (100, 33), (150, 49), (500, 166)] {
+        for (n, f) in [
+            (4, 1),
+            (7, 2),
+            (10, 3),
+            (50, 16),
+            (100, 33),
+            (150, 49),
+            (500, 166),
+        ] {
             let t = TribeParams::new(n);
             assert_eq!(t.f(), f, "n={n}");
             assert_eq!(t.quorum(), 2 * f + 1);

@@ -51,7 +51,14 @@ impl TxBatch {
         tx_bytes: u32,
         created_at: Micros,
     ) -> TxBatch {
-        TxBatch { creator, first_seq, count, tx_bytes, created_at, payload: Vec::new() }
+        TxBatch {
+            creator,
+            first_seq,
+            count,
+            tx_bytes,
+            created_at,
+            payload: Vec::new(),
+        }
     }
 
     /// Builds a batch carrying real payload bytes.
@@ -72,7 +79,14 @@ impl TxBatch {
             count as usize * tx_bytes as usize,
             "payload length must equal count * tx_bytes"
         );
-        TxBatch { creator, first_seq, count, tx_bytes, created_at, payload }
+        TxBatch {
+            creator,
+            first_seq,
+            count,
+            tx_bytes,
+            created_at,
+            payload,
+        }
     }
 
     /// True iff the batch carries literal payload bytes.
@@ -87,7 +101,10 @@ impl TxBatch {
 
     /// Iterates over the transaction ids in this batch.
     pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
-        (0..self.count as u64).map(move |i| TxId { creator: self.creator, seq: self.first_seq + i })
+        (0..self.count as u64).map(move |i| TxId {
+            creator: self.creator,
+            seq: self.first_seq + i,
+        })
     }
 
     /// Returns the payload slice of transaction `i` within the batch, if
@@ -133,7 +150,14 @@ impl Decode for TxBatch {
         let created_at = Micros::decode(r)?;
         let payload_len = r.get_len()?;
         let payload = r.take(payload_len)?.to_vec();
-        Ok(TxBatch { creator, first_seq, count, tx_bytes, created_at, payload })
+        Ok(TxBatch {
+            creator,
+            first_seq,
+            count,
+            tx_bytes,
+            created_at,
+            payload,
+        })
     }
 }
 
@@ -147,7 +171,13 @@ mod tests {
         assert_eq!(b.tx_wire_bytes(), 3_072_000); // the paper's 3 MB proposal
         assert!(!b.has_payload());
         assert_eq!(b.tx_ids().count(), 6000);
-        assert_eq!(b.tx_ids().next().unwrap(), TxId { creator: PartyId(3), seq: 100 });
+        assert_eq!(
+            b.tx_ids().next().unwrap(),
+            TxId {
+                creator: PartyId(3),
+                seq: 100
+            }
+        );
         assert_eq!(b.tx_payload(0), None);
         // Wire model charges declared bytes even without payload.
         assert_eq!(b.encoded_len(), BATCH_HEADER_BYTES + 4 + 3_072_000);

@@ -37,7 +37,10 @@ impl Encode for VertexRef {
 
 impl Decode for VertexRef {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(VertexRef { round: Round::decode(r)?, source: PartyId::decode(r)? })
+        Ok(VertexRef {
+            round: Round::decode(r)?,
+            source: PartyId::decode(r)?,
+        })
     }
 }
 
@@ -86,7 +89,10 @@ impl Vertex {
 
     /// The `(round, source)` reference naming this vertex.
     pub fn reference(&self) -> VertexRef {
-        VertexRef { round: self.round, source: self.source }
+        VertexRef {
+            round: self.round,
+            source: self.source,
+        }
     }
 
     /// Content digest of the vertex header (certificates included via their
@@ -136,7 +142,10 @@ impl Vertex {
                 need: quorum,
             });
         }
-        let prev = self.round.prev().expect("non-genesis round has a predecessor");
+        let prev = self
+            .round
+            .prev()
+            .expect("non-genesis round has a predecessor");
         for e in &self.strong_edges {
             if e.round != prev {
                 return Err(VertexShapeError::StrongEdgeWrongRound { edge: *e });
@@ -194,7 +203,11 @@ impl std::fmt::Display for VertexShapeError {
                 write!(f, "only {got} strong edges, need {need}")
             }
             VertexShapeError::StrongEdgeWrongRound { edge } => {
-                write!(f, "strong edge to {} {} not in previous round", edge.round, edge.source)
+                write!(
+                    f,
+                    "strong edge to {} {} not in previous round",
+                    edge.round, edge.source
+                )
             }
             VertexShapeError::DuplicateStrongEdge { source } => {
                 write!(f, "duplicate strong edge to {source}")
@@ -257,7 +270,10 @@ mod tests {
     fn refs(round: u64, sources: &[u32]) -> Vec<VertexRef> {
         sources
             .iter()
-            .map(|&s| VertexRef { round: Round(round), source: PartyId(s) })
+            .map(|&s| VertexRef {
+                round: Round(round),
+                source: PartyId(s),
+            })
             .collect()
     }
 
@@ -325,7 +341,10 @@ mod tests {
         assert_eq!(g.validate_shape(3), Ok(()));
         let mut bad = g.clone();
         bad.strong_edges = refs(0, &[1, 2, 3]);
-        assert_eq!(bad.validate_shape(3), Err(VertexShapeError::GenesisWithEdges));
+        assert_eq!(
+            bad.validate_shape(3),
+            Err(VertexShapeError::GenesisWithEdges)
+        );
     }
 
     #[test]
@@ -354,8 +373,15 @@ mod tests {
         // strong edges (n=150), the vertex stays around a kilobyte.
         let mut v = sample_vertex();
         v.strong_edges = (0..99)
-            .map(|s| VertexRef { round: Round(4), source: PartyId(s) })
+            .map(|s| VertexRef {
+                round: Round(4),
+                source: PartyId(s),
+            })
             .collect();
-        assert!(v.encoded_len() < 2048, "vertex is {} bytes", v.encoded_len());
+        assert!(
+            v.encoded_len() < 2048,
+            "vertex is {} bytes",
+            v.encoded_len()
+        );
     }
 }

@@ -25,7 +25,10 @@ fn main() {
     println!("single clan:");
     for (name, tail) in [
         ("Eq. 1 as printed (tie = failure)", Tail::NoHonestMajority),
-        ("strict majority (paper's concrete numbers)", Tail::StrictDishonestMajority),
+        (
+            "strict majority (paper's concrete numbers)",
+            Tail::StrictDishonestMajority,
+        ),
     ] {
         match min_clan_size_tail(n, f, threshold, tail) {
             Some(nc) => {
@@ -46,7 +49,11 @@ fn main() {
         }
         let sizes = even_clan_sizes(n, q);
         let p = partition_dishonest_prob(n, f, &sizes);
-        let verdict = if p <= threshold { "OK" } else { "exceeds budget" };
+        let verdict = if p <= threshold {
+            "OK"
+        } else {
+            "exceeds budget"
+        };
         println!("  q = {q} (sizes {sizes:?}): failure prob {p:.3e} [{verdict}]");
     }
 

@@ -29,7 +29,10 @@ fn main() {
 
     // Every honest node holds the same total order; print node 0's view.
     let node0 = built.sim.node(PartyId(0));
-    println!("total order at node 0 ({} vertices):", node0.committed_log.len());
+    println!(
+        "total order at node 0 ({} vertices):",
+        node0.committed_log.len()
+    );
     for c in node0.committed_log.iter().take(12) {
         println!(
             "  #{:<3} {} {}  block={} ({} txs)",

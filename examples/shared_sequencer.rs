@@ -37,7 +37,11 @@ fn main() {
     let in_clan = |p: PartyId, c: usize| clans[c].contains(&p);
     println!("global sequence (node 0's view, first 16 entries):");
     for c in node0.committed_log.iter().take(16) {
-        let app = if in_clan(c.vertex.source, 0) { "A" } else { "B" };
+        let app = if in_clan(c.vertex.source, 0) {
+            "A"
+        } else {
+            "B"
+        };
         println!(
             "  #{:<3} app {} {} {} ({} txs)",
             c.sequence, app, c.vertex.round, c.vertex.source, c.block_tx_count
@@ -49,14 +53,25 @@ fn main() {
         println!("\nrollup {app} execution:");
         let mut reports = Vec::new();
         for &p in clan {
-            let e = built.sim.node(p).executor.as_ref().expect("clan member executes");
-            println!("  {p}: root {} after {} txs", e.state_root(), e.executed_txs());
+            let e = built
+                .sim
+                .node(p)
+                .executor
+                .as_ref()
+                .expect("clan member executes");
+            println!(
+                "  {p}: root {} after {} txs",
+                e.state_root(),
+                e.executed_txs()
+            );
             reports.push((p.idx(), e.state_root()));
         }
         // A client needs f_c+1 identical responses.
         let quorum = clan.len() / 2 + 1;
         match client_accepts(&reports, quorum) {
-            Some(root) => println!("  client accepts state root {root} ({quorum} consistent replies)"),
+            Some(root) => {
+                println!("  client accepts state root {root} ({quorum} consistent replies)")
+            }
             None => println!("  client could not assemble {quorum} consistent replies"),
         }
     }

@@ -28,8 +28,16 @@ fn run_case(two_round: bool, byzantine: bool) {
     let payload = BytesPayload::new(vec![0x42; 64 * 1024]);
     println!(
         "{} variant, {} sender, 64 KiB payload, digest {}",
-        if two_round { "2-round (Fig. 3)" } else { "3-round (Fig. 2)" },
-        if byzantine { "Byzantine (selective)" } else { "honest" },
+        if two_round {
+            "2-round (Fig. 3)"
+        } else {
+            "3-round (Fig. 2)"
+        },
+        if byzantine {
+            "Byzantine (selective)"
+        } else {
+            "honest"
+        },
         payload.rbc_digest()
     );
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate. Everything runs --offline: the workspace has a zero-dependency
+# policy (see DESIGN.md) and must build and test with an empty registry
+# cache. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "== dependency audit (manifests must declare no external crates)"
+if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then
+    echo "external crate reference found in a manifest" >&2
+    exit 1
+fi
+
+echo "CI OK"

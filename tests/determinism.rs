@@ -1,0 +1,72 @@
+//! End-to-end determinism: the whole stack — key generation, clan election,
+//! simulated network jitter, consensus — runs on the in-tree seeded PRNG, so
+//! two runs with the same seed must produce byte-identical commit sequences
+//! on every node. This is the regression gate for the zero-dependency PRNG
+//! swap: any hidden nondeterminism (HashMap iteration order, OS entropy,
+//! wall-clock leakage) shows up here as a diverged total order.
+
+use clanbft_sim::tribe::elect_clan;
+use clanbft_sim::{build_tribe, TribeSpec};
+use clanbft_types::{Micros, PartyId};
+
+/// One node's committed sequence, flattened for comparison.
+type CommitTrace = Vec<(u64, u64, u32, [u8; 32], u64)>;
+
+fn run_single_clan(seed: u64) -> Vec<CommitTrace> {
+    let n = 8;
+    let mut spec = TribeSpec::new(n);
+    spec.clans = Some(vec![elect_clan(n, 4, seed)]);
+    spec.max_round = Some(8);
+    spec.txs_per_proposal = 50;
+    spec.seed = seed;
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(3_000));
+    (0..n as u32)
+        .map(|p| {
+            built
+                .sim
+                .node(PartyId(p))
+                .committed_log
+                .iter()
+                .map(|c| {
+                    (
+                        c.sequence,
+                        c.vertex.round.0,
+                        c.vertex.source.0,
+                        c.block_digest.0,
+                        c.committed_at.0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_single_clan_runs_commit_identically() {
+    let first = run_single_clan(42);
+    let second = run_single_clan(42);
+
+    // The run must actually commit something, otherwise this test is vacuous.
+    let total: usize = first.iter().map(Vec::len).sum();
+    assert!(total > 0, "no commits in an 8-round benign run");
+
+    for (p, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(
+            a, b,
+            "party {p} diverged between two runs with the same seed"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    // Not a safety property — just a sanity check that the seed is actually
+    // threaded through (identical traces for different seeds would mean the
+    // PRNG is being ignored somewhere).
+    let a = run_single_clan(1);
+    let b = run_single_clan(2);
+    let flat =
+        |runs: &Vec<CommitTrace>| -> Vec<u64> { runs.iter().flatten().map(|t| t.4).collect() };
+    assert_ne!(flat(&a), flat(&b), "seed change had no observable effect");
+}

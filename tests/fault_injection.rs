@@ -80,7 +80,10 @@ fn crashed_clan_members_do_not_block_single_clan() {
     built.sim.run_until(Micros::from_secs(300));
     assert_agreement(&built);
     let node0 = built.sim.node(PartyId(0));
-    assert!(node0.committed_txs() > 0, "clan crashes blocked all commits");
+    assert!(
+        node0.committed_txs() > 0,
+        "clan crashes blocked all commits"
+    );
 }
 
 #[test]
@@ -131,7 +134,10 @@ fn partition_heals_and_tribe_recovers() {
         "partitioned node failed to catch up: {}",
         node0.round()
     );
-    assert!(!node0.committed_log.is_empty(), "partitioned node never committed");
+    assert!(
+        !node0.committed_log.is_empty(),
+        "partitioned node never committed"
+    );
 }
 
 #[test]
@@ -139,7 +145,10 @@ fn asynchrony_with_crashes_combined() {
     // The adversary's full partial-synchrony budget at once: pre-GST delays
     // plus f = 2 crashes on a 7-party tribe.
     let mut spec = TribeSpec::new(7);
-    spec.crashes = vec![(PartyId(2), Micros::ZERO), (PartyId(4), Micros::from_secs(1))];
+    spec.crashes = vec![
+        (PartyId(2), Micros::ZERO),
+        (PartyId(4), Micros::from_secs(1)),
+    ];
     spec.txs_per_proposal = 25;
     spec.max_round = Some(6);
     spec.timeout = Micros::from_millis(2_000);

@@ -1,221 +1,318 @@
 //! Property-based tests over the workspace's core data structures and
-//! invariants.
+//! invariants, on the in-tree `clanbft-testkit` harness (64 cases per
+//! property, matching the original proptest configuration; raise globally
+//! with `TESTKIT_CASES`). A failing case prints a `TESTKIT_SEED=...
+//! TESTKIT_CASE=...` line that replays it exactly.
 
 use clanbft_committee::bignum::BigUint;
 use clanbft_committee::binomial::binomial;
 use clanbft_committee::hypergeom::dishonest_majority_prob;
-use clanbft_crypto::{Bitmap, Digest};
+use clanbft_crypto::{Bitmap, ClanRng, Digest};
 use clanbft_dag::{Dag, InsertOutcome};
+use clanbft_testkit::{check, check_shrink, tk_assert, tk_assert_eq, Gen};
 use clanbft_types::certs::TimeoutCert;
 use clanbft_types::{
     Block, Decode, Encode, Micros, PartyId, Round, TribeParams, TxBatch, Vertex, VertexRef,
 };
-use proptest::prelude::*;
+
+const CASES: u32 = 64;
 
 // --- codec roundtrips -------------------------------------------------------
 
-fn arb_batch() -> impl Strategy<Value = TxBatch> {
-    (0u32..4u32, 0u64..1_000_000, 0u32..50, 1u32..64, 0u64..1_000_000).prop_map(
-        |(creator, first_seq, count, tx_bytes, at)|
-
-        TxBatch::with_payload(
-            PartyId(creator),
-            first_seq,
-            count,
-            tx_bytes,
-            Micros(at),
-            vec![0xabu8; (count * tx_bytes) as usize],
-        ),
+fn arb_batch(g: &mut Gen) -> TxBatch {
+    let creator = g.u32_in(0, 4);
+    let first_seq = g.u64_in(0, 1_000_000);
+    let count = g.u32_in(0, 50);
+    let tx_bytes = g.u32_in(1, 64);
+    let at = g.u64_in(0, 1_000_000);
+    TxBatch::with_payload(
+        PartyId(creator),
+        first_seq,
+        count,
+        tx_bytes,
+        Micros(at),
+        vec![0xabu8; (count * tx_bytes) as usize],
     )
 }
 
-fn arb_block() -> impl Strategy<Value = Block> {
-    (0u32..8, 0u64..100, prop::collection::vec(arb_batch(), 0..4))
-        .prop_map(|(p, r, batches)| Block::new(PartyId(p), Round(r), batches))
+fn arb_block(g: &mut Gen) -> Block {
+    let p = g.u32_in(0, 8);
+    let r = g.u64_in(0, 100);
+    let batches = g.vec(0, 4, arb_batch);
+    Block::new(PartyId(p), Round(r), batches)
 }
 
-fn arb_vertex() -> impl Strategy<Value = Vertex> {
-    (
-        1u64..50,
-        0u32..16,
-        prop::collection::vec(0u32..16, 3..8),
-        prop::collection::vec((0u64..40, 0u32..16), 0..3),
-    )
-        .prop_map(|(round, source, strong, weak)| Vertex {
-            round: Round(round),
-            source: PartyId(source),
-            block_digest: Digest::of(&[round as u8, source as u8]),
-            block_bytes: round * 1000,
-            block_tx_count: round,
-            strong_edges: strong
-                .into_iter()
-                .map(|s| VertexRef { round: Round(round - 1), source: PartyId(s) })
-                .collect(),
-            weak_edges: weak
-                .into_iter()
-                .filter(|(r, _)| *r + 1 < round)
-                .map(|(r, s)| VertexRef { round: Round(r), source: PartyId(s) })
-                .collect(),
-            nvc: None,
-            tc: None,
-        })
+fn arb_vertex(g: &mut Gen) -> Vertex {
+    let round = g.u64_in(1, 50);
+    let source = g.u32_in(0, 16);
+    let strong = g.vec(3, 8, |g| g.u32_in(0, 16));
+    let weak = g.vec(0, 3, |g| (g.u64_in(0, 40), g.u32_in(0, 16)));
+    Vertex {
+        round: Round(round),
+        source: PartyId(source),
+        block_digest: Digest::of(&[round as u8, source as u8]),
+        block_bytes: round * 1000,
+        block_tx_count: round,
+        strong_edges: strong
+            .into_iter()
+            .map(|s| VertexRef {
+                round: Round(round - 1),
+                source: PartyId(s),
+            })
+            .collect(),
+        weak_edges: weak
+            .into_iter()
+            .filter(|(r, _)| *r + 1 < round)
+            .map(|(r, s)| VertexRef {
+                round: Round(r),
+                source: PartyId(s),
+            })
+            .collect(),
+        nvc: None,
+        tc: None,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn block_codec_roundtrip(block in arb_block()) {
+#[test]
+fn block_codec_roundtrip() {
+    check("block_codec_roundtrip", CASES, arb_block, |block| {
         let bytes = block.to_bytes();
-        let back = Block::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(&back, &block);
-        prop_assert_eq!(back.digest(), block.digest());
-    }
+        let back = Block::from_bytes(&bytes).map_err(|e| format!("decode failed: {e:?}"))?;
+        tk_assert_eq!(&back, block);
+        tk_assert_eq!(back.digest(), block.digest());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn vertex_codec_roundtrip(vertex in arb_vertex()) {
+#[test]
+fn vertex_codec_roundtrip() {
+    check("vertex_codec_roundtrip", CASES, arb_vertex, |vertex| {
         let bytes = vertex.to_bytes();
-        let back = Vertex::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back.id(), vertex.id());
-        prop_assert_eq!(back.strong_edges, vertex.strong_edges);
-        prop_assert_eq!(back.weak_edges, vertex.weak_edges);
-    }
+        let back = Vertex::from_bytes(&bytes).map_err(|e| format!("decode failed: {e:?}"))?;
+        tk_assert_eq!(back.id(), vertex.id());
+        tk_assert_eq!(&back.strong_edges, &vertex.strong_edges);
+        tk_assert_eq!(&back.weak_edges, &vertex.weak_edges);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn vertex_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        // Hostile input must produce an error, never a panic.
-        let _ = Vertex::from_bytes(&bytes);
-        let _ = Block::from_bytes(&bytes);
-        let _ = TimeoutCert::from_bytes(&bytes);
-    }
+#[test]
+fn vertex_decode_never_panics() {
+    check_shrink(
+        "vertex_decode_never_panics",
+        CASES,
+        |g| g.bytes(0, 512),
+        |bytes| {
+            // Hostile input must produce an error, never a panic.
+            let _ = Vertex::from_bytes(bytes);
+            let _ = Block::from_bytes(bytes);
+            let _ = TimeoutCert::from_bytes(bytes);
+            Ok(())
+        },
+    );
+}
 
-    // --- bitmap model test --------------------------------------------------
+// --- bitmap model test ------------------------------------------------------
 
-    #[test]
-    fn bitmap_matches_hashset_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 1..100)) {
-        let mut bitmap = Bitmap::new(200);
-        let mut model = std::collections::HashSet::new();
-        for (idx, _probe) in ops {
-            let fresh_bm = bitmap.set(idx);
-            let fresh_model = model.insert(idx);
-            prop_assert_eq!(fresh_bm, fresh_model);
-            prop_assert_eq!(bitmap.count(), model.len());
-        }
-        let from_iter: Vec<usize> = bitmap.iter().collect();
-        let mut from_model: Vec<usize> = model.into_iter().collect();
-        from_model.sort_unstable();
-        prop_assert_eq!(from_iter, from_model);
-    }
-
-    // --- bignum / combinatorics ---------------------------------------------
-
-    #[test]
-    fn bignum_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
-        let big_a = BigUint::from_u64(a);
-        let big_b = BigUint::from_u64(b);
-        let sum = big_a.add(&big_b);
-        prop_assert_eq!(sum.sub(&big_b), big_a);
-        prop_assert_eq!(sum.to_decimal(), (a as u128 + b as u128).to_string());
-    }
-
-    #[test]
-    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
-        prop_assert_eq!(prod.to_decimal(), (a as u128 * b as u128).to_string());
-    }
-
-    #[test]
-    fn binomial_symmetry_and_bounds(n in 1u64..120, k in 0u64..120) {
-        if k <= n {
-            prop_assert_eq!(binomial(n, k), binomial(n, n - k));
-            prop_assert!(!binomial(n, k).is_zero());
-        } else {
-            prop_assert!(binomial(n, k).is_zero());
-        }
-    }
-
-    #[test]
-    fn hypergeometric_is_a_probability(n in 6u64..80, nc_frac in 1u64..99) {
-        let f = (n - 1) / 3;
-        let nc = (n * nc_frac / 100).clamp(1, n);
-        let p = dishonest_majority_prob(n, f, nc);
-        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
-    }
-
-    #[test]
-    fn clan_monotone_in_faults(n in 10u64..60, nc in 4u64..10) {
-        // More Byzantine parties can only make a clan draw worse.
-        let mut prev = -1.0f64;
-        for f in 0..=(n - 1) / 3 {
-            let p = dishonest_majority_prob(n, f, nc.min(n));
-            prop_assert!(p >= prev - 1e-12, "f={} p={} prev={}", f, p, prev);
-            prev = p;
-        }
-    }
-
-    // --- DAG invariants -------------------------------------------------------
-
-    #[test]
-    fn dag_insertion_order_is_irrelevant(seed in any::<u64>()) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        // Build a fixed 4-party, 4-round DAG; insert in random order; the
-        // final state and emitted order must be identical.
-        let mk_vertices = || -> Vec<Vertex> {
-            let mut vs = Vec::new();
-            for s in 0..4u32 {
-                vs.push(Vertex {
-                    round: Round(0),
-                    source: PartyId(s),
-                    block_digest: Digest::of(&[0, s as u8]),
-                    block_bytes: 0,
-                    block_tx_count: 0,
-                    strong_edges: vec![],
-                    weak_edges: vec![],
-                    nvc: None,
-                    tc: None,
-                });
+#[test]
+fn bitmap_matches_hashset_model() {
+    check_shrink(
+        "bitmap_matches_hashset_model",
+        CASES,
+        |g| g.vec(1, 100, |g| g.usize_in(0, 200)),
+        |ops| {
+            let mut bitmap = Bitmap::new(200);
+            let mut model = std::collections::HashSet::new();
+            for &idx in ops {
+                if idx >= 200 {
+                    return Ok(()); // shrunk outside the generator's range
+                }
+                let fresh_bm = bitmap.set(idx);
+                let fresh_model = model.insert(idx);
+                tk_assert_eq!(fresh_bm, fresh_model);
+                tk_assert_eq!(bitmap.count(), model.len());
             }
-            for r in 1..4u64 {
+            let from_iter: Vec<usize> = bitmap.iter().collect();
+            let mut from_model: Vec<usize> = model.into_iter().collect();
+            from_model.sort_unstable();
+            tk_assert_eq!(from_iter, from_model);
+            Ok(())
+        },
+    );
+}
+
+// --- bignum / combinatorics -------------------------------------------------
+
+#[test]
+fn bignum_add_sub_roundtrip() {
+    check_shrink(
+        "bignum_add_sub_roundtrip",
+        CASES,
+        |g| (g.u64(), g.u64()),
+        |&(a, b)| {
+            let big_a = BigUint::from_u64(a);
+            let big_b = BigUint::from_u64(b);
+            let sum = big_a.add(&big_b);
+            tk_assert_eq!(sum.sub(&big_b), big_a);
+            tk_assert_eq!(sum.to_decimal(), (a as u128 + b as u128).to_string());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bignum_mul_matches_u128() {
+    check_shrink(
+        "bignum_mul_matches_u128",
+        CASES,
+        |g| (g.u64(), g.u64()),
+        |&(a, b)| {
+            let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+            tk_assert_eq!(prod.to_decimal(), (a as u128 * b as u128).to_string());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn binomial_symmetry_and_bounds() {
+    check_shrink(
+        "binomial_symmetry_and_bounds",
+        CASES,
+        |g| (g.u64_in(1, 120), g.u64_in(0, 120)),
+        |&(n, k)| {
+            if n == 0 {
+                return Ok(()); // shrunk below the generator's range
+            }
+            if k <= n {
+                tk_assert_eq!(binomial(n, k), binomial(n, n - k));
+                tk_assert!(!binomial(n, k).is_zero(), "C({n},{k}) must be positive");
+            } else {
+                tk_assert!(binomial(n, k).is_zero(), "C({n},{k}) with k>n must be zero");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn hypergeometric_is_a_probability() {
+    check_shrink(
+        "hypergeometric_is_a_probability",
+        CASES,
+        |g| (g.u64_in(6, 80), g.u64_in(1, 99)),
+        |&(n, nc_frac)| {
+            if n < 6 || nc_frac == 0 {
+                return Ok(()); // shrunk below the generator's range
+            }
+            let f = (n - 1) / 3;
+            let nc = (n * nc_frac / 100).clamp(1, n);
+            let p = dishonest_majority_prob(n, f, nc);
+            tk_assert!((0.0..=1.0).contains(&p), "p = {p}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn clan_monotone_in_faults() {
+    check_shrink(
+        "clan_monotone_in_faults",
+        CASES,
+        |g| (g.u64_in(10, 60), g.u64_in(4, 10)),
+        |&(n, nc)| {
+            if n < 10 || nc == 0 {
+                return Ok(()); // shrunk below the generator's range
+            }
+            // More Byzantine parties can only make a clan draw worse.
+            let mut prev = -1.0f64;
+            for f in 0..=(n - 1) / 3 {
+                let p = dishonest_majority_prob(n, f, nc.min(n));
+                tk_assert!(p >= prev - 1e-12, "f={f} p={p} prev={prev}");
+                prev = p;
+            }
+            Ok(())
+        },
+    );
+}
+
+// --- DAG invariants ---------------------------------------------------------
+
+#[test]
+fn dag_insertion_order_is_irrelevant() {
+    check_shrink(
+        "dag_insertion_order_is_irrelevant",
+        CASES,
+        |g| g.u64(),
+        |&seed| {
+            // Build a fixed 4-party, 4-round DAG; insert in random order; the
+            // final state and emitted order must be identical.
+            let mk_vertices = || -> Vec<Vertex> {
+                let mut vs = Vec::new();
                 for s in 0..4u32 {
                     vs.push(Vertex {
-                        round: Round(r),
+                        round: Round(0),
                         source: PartyId(s),
-                        block_digest: Digest::of(&[r as u8, s as u8]),
+                        block_digest: Digest::of(&[0, s as u8]),
                         block_bytes: 0,
                         block_tx_count: 0,
-                        strong_edges: (0..4)
-                            .map(|t| VertexRef { round: Round(r - 1), source: PartyId(t) })
-                            .collect(),
+                        strong_edges: vec![],
                         weak_edges: vec![],
                         nvc: None,
                         tc: None,
                     });
                 }
-            }
-            vs
-        };
-        let reference_order = {
+                for r in 1..4u64 {
+                    for s in 0..4u32 {
+                        vs.push(Vertex {
+                            round: Round(r),
+                            source: PartyId(s),
+                            block_digest: Digest::of(&[r as u8, s as u8]),
+                            block_bytes: 0,
+                            block_tx_count: 0,
+                            strong_edges: (0..4)
+                                .map(|t| VertexRef {
+                                    round: Round(r - 1),
+                                    source: PartyId(t),
+                                })
+                                .collect(),
+                            weak_edges: vec![],
+                            nvc: None,
+                            tc: None,
+                        });
+                    }
+                }
+                vs
+            };
+            let reference_order = {
+                let mut dag = Dag::new(TribeParams::new(4));
+                for v in mk_vertices() {
+                    dag.insert(v);
+                }
+                dag.take_causal_history(&VertexRef {
+                    round: Round(3),
+                    source: PartyId(1),
+                })
+            };
+            let mut rng = ClanRng::seed_from_u64(seed);
+            let mut shuffled = mk_vertices();
+            rng.shuffle(&mut shuffled);
             let mut dag = Dag::new(TribeParams::new(4));
-            for v in mk_vertices() {
-                dag.insert(v);
+            let mut live_total = 0;
+            for v in shuffled {
+                if let InsertOutcome::Live(l) = dag.insert(v) {
+                    live_total += l.len();
+                }
             }
-            dag.take_causal_history(&VertexRef { round: Round(3), source: PartyId(1) })
-        };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut shuffled = mk_vertices();
-        shuffled.shuffle(&mut rng);
-        let mut dag = Dag::new(TribeParams::new(4));
-        let mut live_total = 0;
-        for v in shuffled {
-            if let InsertOutcome::Live(l) = dag.insert(v) {
-                live_total += l.len();
-            }
-        }
-        prop_assert_eq!(live_total, 16, "every vertex eventually live");
-        let order = dag.take_causal_history(&VertexRef { round: Round(3), source: PartyId(1) });
-        prop_assert_eq!(order, reference_order);
-    }
+            tk_assert_eq!(live_total, 16); // every vertex eventually live
+            let order = dag.take_causal_history(&VertexRef {
+                round: Round(3),
+                source: PartyId(1),
+            });
+            tk_assert_eq!(order, reference_order);
+            Ok(())
+        },
+    );
 }
 
 /// Monte-Carlo bridge between the elector and the exact hypergeometric

@@ -50,7 +50,10 @@ fn full_pipeline_single_clan_with_committee_sized_clan() {
     let n = 10u64;
     let f = (n - 1) / 3;
     let nc = min_clan_size_tail(n, f, 0.2, Tail::StrictDishonestMajority).expect("solvable");
-    assert!(nc < n, "clan must be a strict subset for this test, got {nc}");
+    assert!(
+        nc < n,
+        "clan must be a strict subset for this test, got {nc}"
+    );
     let clan = elect_clan(n as usize, nc as usize, 3);
     let mut spec = TribeSpec::new(n as usize);
     spec.clans = Some(vec![clan.clone()]);
@@ -63,7 +66,11 @@ fn full_pipeline_single_clan_with_committee_sized_clan() {
     let node0 = built.sim.node(PartyId(0));
     for c in &node0.committed_log {
         if c.block_tx_count > 0 {
-            assert!(clan.contains(&c.vertex.source), "non-clan txs from {}", c.vertex.source);
+            assert!(
+                clan.contains(&c.vertex.source),
+                "non-clan txs from {}",
+                c.vertex.source
+            );
         }
     }
     // The election really met its failure budget.
@@ -99,12 +106,27 @@ fn full_pipeline_multi_clan() {
             .iter()
             .map(|&p| built.sim.node(p).executor.as_ref().unwrap().state_root())
             .collect();
-        assert!(roots.windows(2).all(|w| w[0] == w[1]), "clan diverged: {clan:?}");
+        assert!(
+            roots.windows(2).all(|w| w[0] == w[1]),
+            "clan diverged: {clan:?}"
+        );
     }
     // Different clans execute different (disjoint) block sets, so their
     // roots differ.
-    let r0 = built.sim.node(clans[0][0]).executor.as_ref().unwrap().state_root();
-    let r1 = built.sim.node(clans[1][0]).executor.as_ref().unwrap().state_root();
+    let r0 = built
+        .sim
+        .node(clans[0][0])
+        .executor
+        .as_ref()
+        .unwrap()
+        .state_root();
+    let r1 = built
+        .sim
+        .node(clans[1][0])
+        .executor
+        .as_ref()
+        .unwrap()
+        .state_root();
     assert_ne!(r0, r1);
 }
 
