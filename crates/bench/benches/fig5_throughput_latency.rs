@@ -9,9 +9,33 @@
 //! Default run: a reduced load grid (minutes). `CLANBFT_FULL=1` sweeps the
 //! paper's full grid [1, 32, 63, 125, 250, 500, 1000, 1500, 2000, 3000,
 //! 4000, 5000, 6000].
+//!
+//! Every data point is also appended as one NDJSON line to `BENCH_fig5.json`
+//! next to this crate's manifest, so successive runs build a comparable
+//! history of the bench trajectory.
 
-use clanbft_bench::{fmt_point, full_scale, run_point};
-use clanbft_sim::Proto;
+use clanbft_bench::{append_ndjson, fmt_point, full_scale, run_point};
+use clanbft_sim::{Proto, RunMetrics};
+use clanbft_telemetry::JsonObj;
+
+/// Results file: one NDJSON line per data point, appended across runs.
+fn results_path() -> String {
+    format!("{}/BENCH_fig5.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn record_point(section: &str, proto: &Proto, n: usize, txs: u32, m: &RunMetrics) {
+    // Prefix the metrics line with the sweep coordinates so a reader can
+    // reconstruct the figure without parsing the human-readable stdout.
+    let head = JsonObj::new()
+        .str("figure", &format!("5{section}"))
+        .str("proto", &proto.label())
+        .u64("n", n as u64)
+        .u64("txs_per_proposal", txs as u64)
+        .finish();
+    let body = m.to_json();
+    let line = format!("{},{}\n", &head[..head.len() - 1], &body[1..]);
+    append_ndjson(&results_path(), &line);
+}
 
 fn loads(n: usize) -> Vec<u32> {
     if full_scale() {
@@ -36,6 +60,7 @@ fn sweep(section: &str, n: usize, protos: &[Proto], rounds: u64) {
             // to keep runs bounded: skip loads once latency exceeded 8 s.
             let m = run_point(proto.clone(), n, txs, rounds);
             println!("{}", fmt_point(&proto.label(), txs, &m));
+            record_point(section, proto, n, txs, &m);
             if m.avg_latency.as_secs_f64() > 8.0 {
                 println!("{:<34} (saturated; remaining loads skipped)", proto.label());
                 break;

@@ -68,6 +68,34 @@ fn bench_bitmap(b: &Bench) {
     });
 }
 
+fn bench_telemetry(b: &Bench) {
+    use clanbft_telemetry::{Event, Telemetry};
+    use clanbft_types::Micros;
+
+    // Disabled path: what every instrumented call site pays in production
+    // runs — must stay at one branch.
+    let null = Telemetry::null();
+    b.run("telemetry/null-counter", || {
+        null.add(black_box("bench.counter"), black_box(1));
+    });
+    b.run("telemetry/null-event", || {
+        null.event(
+            Micros(black_box(7)),
+            PartyId(0),
+            Event::RoundEntered { round: Round(1) },
+        );
+    });
+
+    // Enabled path: the mutex + BTreeMap cost an instrumented run pays.
+    let (mem, _rec) = Telemetry::mem();
+    b.run("telemetry/mem-counter", || {
+        mem.add(black_box("bench.counter"), black_box(1));
+    });
+    b.run("telemetry/mem-histogram", || {
+        mem.record(black_box("bench.hist"), black_box(12_345));
+    });
+}
+
 fn bench_dag(b: &Bench) {
     let make_vertex = |round: u64, source: u32, n: u32| Vertex {
         round: Round(round),
@@ -159,5 +187,6 @@ fn main() {
     bench_keyed_signer(&bench);
     bench_combinatorics(&bench);
     bench_bitmap(&bench);
+    bench_telemetry(&bench);
     bench_dag(&bench);
 }

@@ -7,8 +7,13 @@
 //!
 //! Scale control: figure benches default to a reduced sweep that finishes in
 //! minutes; set `CLANBFT_FULL=1` for the paper's full parameter grid.
+//!
+//! Tracing: set `CLANBFT_TRACE=path` to attach a telemetry recorder to every
+//! data point and append the NDJSON event stream to `path`.
 
 use clanbft_sim::{ExperimentSpec, Proto, RunMetrics};
+use clanbft_telemetry::Telemetry;
+use std::io::Write;
 
 pub mod timing;
 
@@ -19,13 +24,43 @@ pub fn full_scale() -> bool {
         .unwrap_or(false)
 }
 
+/// The NDJSON trace destination, if `CLANBFT_TRACE=path` was set.
+pub fn trace_path() -> Option<String> {
+    std::env::var("CLANBFT_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+/// Appends one NDJSON chunk to `path` (creating the file on first use).
+pub fn append_ndjson(path: &str, chunk: &str) {
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(chunk.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("warning: could not append trace to {path}: {e}");
+    }
+}
+
 /// Runs one throughput/latency data point with bench-standard settings.
+///
+/// With `CLANBFT_TRACE=path` set, the run is instrumented and its protocol
+/// event stream is appended to `path` as NDJSON.
 pub fn run_point(proto: Proto, n: usize, txs_per_proposal: u32, rounds: u64) -> RunMetrics {
     let mut spec = ExperimentSpec::new(proto, n, txs_per_proposal);
     spec.rounds = rounds;
     spec.warmup_rounds = 2;
     spec.cooldown_rounds = 2;
-    spec.run()
+    match trace_path() {
+        None => spec.run(),
+        Some(path) => {
+            let (telemetry, recorder) = Telemetry::mem();
+            let metrics = spec.run_with(telemetry);
+            append_ndjson(&path, &recorder.to_ndjson());
+            metrics
+        }
+    }
 }
 
 /// Formats one throughput/latency row the way the paper's plots read.

@@ -2,6 +2,7 @@
 
 use clanbft_rbc::ClanTopology;
 use clanbft_simnet::cost::CostModel;
+use clanbft_telemetry::Telemetry;
 use clanbft_types::{Micros, PartyId, TribeParams};
 use std::sync::Arc;
 
@@ -38,6 +39,8 @@ pub struct NodeConfig {
     /// Garbage-collect DAG/RBC state this many rounds behind the commit
     /// frontier (`None` = never).
     pub gc_depth: Option<u64>,
+    /// Telemetry sink, shared with the RBC engine (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl NodeConfig {
@@ -59,6 +62,7 @@ impl NodeConfig {
             verify_sigs: true,
             execute: false,
             gc_depth: Some(16),
+            telemetry: Telemetry::null(),
         }
     }
 }

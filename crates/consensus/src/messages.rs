@@ -55,6 +55,14 @@ impl Message for ConsensusMsg {
             ConsensusMsg::Timeout { .. } => 8 + 64 + 64,
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ConsensusMsg::Rbc(pkt) => pkt.kind(),
+            ConsensusMsg::Vote { .. } => "vote",
+            ConsensusMsg::Timeout { .. } => "timeout",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use clanbft_crypto::{Authenticator, Digest};
 use clanbft_dag::{order, Dag, InsertOutcome};
 use clanbft_rbc::{Effects, EngineConfig, RbcEvent, TribePayload, TribeRbc2};
 use clanbft_simnet::protocol::{Ctx, Protocol};
+use clanbft_telemetry::Event;
 use clanbft_types::certs::{no_vote_digest, timeout_digest, NoVoteCert, TimeoutCert};
 use clanbft_types::{Block, Encode, Micros, PartyId, Round, TxBatch, Vertex, VertexRef};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -111,7 +112,8 @@ pub struct SailfishNode {
 impl SailfishNode {
     /// Builds a node from its configuration and signing identity.
     pub fn new(cfg: NodeConfig, auth: Arc<Authenticator>) -> SailfishNode {
-        let engine_cfg = EngineConfig::new(cfg.me, Arc::clone(&cfg.topology), cfg.cost);
+        let mut engine_cfg = EngineConfig::new(cfg.me, Arc::clone(&cfg.topology), cfg.cost);
+        engine_cfg.telemetry = cfg.telemetry.clone();
         let rbc =
             TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
         SailfishNode {
@@ -266,6 +268,14 @@ impl SailfishNode {
                 count: batch.count,
             });
         }
+        self.cfg.telemetry.event(
+            fx.stamp(),
+            self.cfg.me,
+            Event::VertexProposed {
+                round,
+                tx_count: vertex.block_tx_count,
+            },
+        );
         let payload = MergedPayload::new(vertex, block);
         // Keep our own block regardless of clan membership (we produced it).
         self.blocks.insert(vref, Arc::clone(&payload.block));
@@ -307,6 +317,14 @@ impl SailfishNode {
         {
             self.voted.insert(round);
             fx.charge(self.cfg.cost.sign());
+            self.cfg.telemetry.event(
+                fx.stamp(),
+                self.cfg.me,
+                Event::LeaderVote {
+                    round,
+                    leader: vref.source,
+                },
+            );
             let sig = self.auth.sign_digest(&vote_digest(round, &id));
             out.push(ConsensusMsg::Vote {
                 round,
@@ -401,8 +419,19 @@ impl SailfishNode {
             let Some(v) = self.dag.get(&vref) else {
                 continue;
             };
+            let sequence = self.next_commit_seq();
+            self.cfg.telemetry.event(
+                now,
+                self.cfg.me,
+                Event::VertexCommitted {
+                    round: vref.round,
+                    source: vref.source,
+                    leader: self.schedule.leader_vertex(vref.round) == vref,
+                    sequence,
+                },
+            );
             self.committed_log.push(CommittedVertex {
-                sequence: self.next_commit_seq(),
+                sequence,
                 vertex: vref,
                 block_digest: v.block_digest,
                 block_bytes: v.block_bytes,
@@ -474,7 +503,10 @@ impl SailfishNode {
             }
             let next = r.next();
             self.current_round = next;
-            let mut fx = Effects::new();
+            self.cfg
+                .telemetry
+                .event(ctx.now(), self.cfg.me, Event::RoundEntered { round: next });
+            let mut fx = Effects::at(ctx.now());
             self.propose(next, &mut fx, ctx.now());
             self.flush(fx, ctx);
             ctx.set_timer(self.cfg.timeout, next.0);
@@ -490,7 +522,7 @@ impl SailfishNode {
             ctx.charge(fx.charge);
             let mut extra_msgs = Vec::new();
             for ev in fx.events {
-                let mut nested = Effects::new();
+                let mut nested = Effects::at(ctx.now());
                 match ev {
                     RbcEvent::Certified {
                         source,
@@ -601,6 +633,12 @@ impl SailfishNode {
             let tc = TimeoutCert::new(round, n, &collected.timeout_sigs);
             let nvc = NoVoteCert::new(round, n, &collected.no_vote_sigs);
             self.certs_formed.insert(round, (tc, nvc));
+            self.cfg
+                .telemetry
+                .event(ctx.now(), self.cfg.me, Event::TimeoutCertFormed { round });
+            self.cfg
+                .telemetry
+                .event(ctx.now(), self.cfg.me, Event::NoVoteCertFormed { round });
             self.try_advance(ctx);
         }
     }
@@ -608,7 +646,14 @@ impl SailfishNode {
 
 impl Protocol<ConsensusMsg> for SailfishNode {
     fn on_start(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
-        let mut fx = Effects::new();
+        self.cfg.telemetry.event(
+            ctx.now(),
+            self.cfg.me,
+            Event::RoundEntered {
+                round: Round::GENESIS,
+            },
+        );
+        let mut fx = Effects::at(ctx.now());
         self.propose(Round::GENESIS, &mut fx, ctx.now());
         self.flush(fx, ctx);
         ctx.set_timer(self.cfg.timeout, 0);
@@ -617,7 +662,7 @@ impl Protocol<ConsensusMsg> for SailfishNode {
     fn on_message(&mut self, from: PartyId, msg: ConsensusMsg, ctx: &mut Ctx<ConsensusMsg>) {
         match msg {
             ConsensusMsg::Rbc(pkt) => {
-                let mut fx = Effects::new();
+                let mut fx = Effects::at(ctx.now());
                 self.rbc.handle(from, pkt, &mut fx);
                 self.flush(fx, ctx);
             }
@@ -654,6 +699,9 @@ impl Protocol<ConsensusMsg> for SailfishNode {
         // skip the edge). Having announced, this node must never vote for
         // this round's leader vertex.
         self.no_voted.insert(round);
+        self.cfg
+            .telemetry
+            .event(ctx.now(), self.cfg.me, Event::TimeoutAnnounced { round });
         ctx.charge(self.cfg.cost.sign() * 2);
         let timeout_sig = self.auth.sign_digest(&timeout_digest(round));
         let no_vote_sig = self.auth.sign_digest(&no_vote_digest(round));

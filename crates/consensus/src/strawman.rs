@@ -25,6 +25,7 @@
 use clanbft_crypto::{AggregateSignature, Authenticator, Digest, Hasher, Signature};
 use clanbft_rbc::ClanTopology;
 use clanbft_simnet::protocol::{Ctx, Message, Protocol};
+use clanbft_telemetry::{Event, Telemetry};
 use clanbft_types::{Block, Encode, Micros, PartyId, Round, TxBatch};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -112,6 +113,16 @@ pub enum StrawmanMsg {
 }
 
 impl Message for StrawmanMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            StrawmanMsg::Disseminate { .. } => "sm.disseminate",
+            StrawmanMsg::Ack { .. } => "sm.ack",
+            StrawmanMsg::Propose { .. } => "sm.propose",
+            StrawmanMsg::Vote { .. } => "sm.vote",
+            StrawmanMsg::Commit { .. } => "sm.commit",
+        }
+    }
+
     fn wire_bytes(&self) -> usize {
         16 + match self {
             StrawmanMsg::Disseminate { block, .. } => block.encoded_len(),
@@ -158,7 +169,17 @@ pub struct StrawmanConfig {
     pub txs_per_block: u32,
     /// Transaction size in bytes.
     pub tx_bytes: u32,
+    /// Telemetry sink (disabled by default).
+    pub telemetry: Telemetry,
 }
+
+/// Acks collected for one of our blocks: digest, tx count, creation time
+/// and the signatures gathered so far.
+type PendingAck = (Digest, u64, Micros, Vec<(usize, Signature)>);
+
+/// Votes collected for one of our slot proposals: digest, proposed PoAs and
+/// the signatures gathered so far.
+type SlotVotes = (Digest, Arc<Vec<Poa>>, Vec<(usize, Signature)>);
 
 /// The straw-man node: disseminates own blocks, acks others', and runs the
 /// slot-based sequencing layer.
@@ -167,12 +188,12 @@ pub struct StrawmanNode {
     auth: Arc<Authenticator>,
     next_seq: u64,
     last_block_at: Micros,
-    /// Acks collected for own blocks: seq → (digest, meta, sigs).
-    pending_acks: HashMap<u64, (Digest, u64, Micros, Vec<(usize, Signature)>)>,
+    /// Acks collected for own blocks, by block sequence number.
+    pending_acks: HashMap<u64, PendingAck>,
     /// Completed PoAs waiting for a slot, if this party is about to lead.
     poa_pool: Vec<Poa>,
-    /// Votes collected for own slot proposal.
-    slot_votes: HashMap<u64, (Digest, Arc<Vec<Poa>>, Vec<(usize, Signature)>)>,
+    /// Votes collected for own slot proposal, by slot.
+    slot_votes: HashMap<u64, SlotVotes>,
     /// Commits this node has learned, in slot order eventually.
     pub committed: Vec<StrawmanCommit>,
     committed_slots: HashMap<u64, bool>,
@@ -294,6 +315,9 @@ impl StrawmanNode {
                 created_at: *created_at,
                 cert: Arc::new(AggregateSignature::aggregate(n, sigs)),
             };
+            self.cfg
+                .telemetry
+                .event(ctx.now(), me, Event::PoaFormed { seq });
             // Hand the PoA to the sequencing layer: broadcast to the next
             // few potential leaders is modelled as pooling at every party
             // (metadata-sized; charged as one control message per leader in
@@ -401,6 +425,14 @@ impl StrawmanNode {
             return;
         }
         self.committed_slots.insert(slot, true);
+        self.cfg.telemetry.event(
+            ctx.now(),
+            self.cfg.me,
+            Event::SlotCommitted {
+                slot,
+                txs: poas.iter().map(|p| p.tx_count).sum(),
+            },
+        );
         for poa in poas.iter() {
             self.committed.push(StrawmanCommit {
                 slot,
@@ -522,6 +554,7 @@ mod tests {
                             0
                         },
                         tx_bytes: 512,
+                        telemetry: Telemetry::null(),
                     },
                     auth,
                 )

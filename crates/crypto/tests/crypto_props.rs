@@ -121,18 +121,13 @@ fn field_ring_laws() {
 
 #[test]
 fn field_inverse() {
-    check(
-        "field_inverse",
-        CASES,
-        |g| arb_u256(g),
-        |&a| {
-            let a = Fe::from_u256(a);
-            if !a.is_zero() {
-                tk_assert_eq!(a.mul(&a.invert()), Fe::ONE);
-            }
-            Ok(())
-        },
-    );
+    check("field_inverse", CASES, arb_u256, |&a| {
+        let a = Fe::from_u256(a);
+        if !a.is_zero() {
+            tk_assert_eq!(a.mul(&a.invert()), Fe::ONE);
+        }
+        Ok(())
+    });
 }
 
 #[test]

@@ -8,6 +8,7 @@ use crate::topology::ClanTopology;
 use clanbft_crypto::{AggregateSignature, Bitmap, Digest, Hasher, Signature};
 use clanbft_simnet::cost::CostModel;
 use clanbft_simnet::protocol::Message;
+use clanbft_telemetry::{Event, RbcPhase, Telemetry};
 use clanbft_types::{Micros, PartyId, Round};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -84,6 +85,20 @@ impl<P: TribePayload> Message for RbcPacket<P> {
                 RbcMsg::Pull { .. } | RbcMsg::PullMeta { .. } => 32,
             }
     }
+
+    fn kind(&self) -> &'static str {
+        match &self.msg {
+            RbcMsg::Val(_) => "rbc.val",
+            RbcMsg::ValMeta(_) => "rbc.meta",
+            RbcMsg::Echo { .. } => "rbc.echo",
+            RbcMsg::Ready { .. } => "rbc.ready",
+            RbcMsg::EchoCert { .. } => "rbc.cert",
+            RbcMsg::Pull { .. } => "rbc.pull",
+            RbcMsg::PullResp(_) => "rbc.pull_resp",
+            RbcMsg::PullMeta { .. } => "rbc.pull",
+            RbcMsg::MetaResp(_) => "rbc.meta_resp",
+        }
+    }
 }
 
 /// Observable outcomes of the broadcast layer.
@@ -137,6 +152,9 @@ pub struct Effects<P: TribePayload> {
     pub events: Vec<RbcEvent<P>>,
     /// Simulated CPU time consumed.
     pub charge: Micros,
+    /// Simulated time when the invocation started (telemetry stamp base;
+    /// see [`Effects::at`]).
+    pub now: Micros,
 }
 
 impl<P: TribePayload> Default for Effects<P> {
@@ -145,14 +163,31 @@ impl<P: TribePayload> Default for Effects<P> {
             out: Vec::new(),
             events: Vec::new(),
             charge: Micros::ZERO,
+            now: Micros::ZERO,
         }
     }
 }
 
 impl<P: TribePayload> Effects<P> {
-    /// A fresh, empty effect set.
+    /// A fresh, empty effect set (stamp base zero — fine for callers that
+    /// don't record telemetry).
     pub fn new() -> Effects<P> {
         Effects::default()
+    }
+
+    /// A fresh effect set whose telemetry stamps are based at `now`, the
+    /// simulated time the enclosing handler started.
+    pub fn at(now: Micros) -> Effects<P> {
+        Effects {
+            now,
+            ..Effects::default()
+        }
+    }
+
+    /// Current simulated time as observed inside this invocation: the base
+    /// plus CPU time charged so far. Mirrors `Ctx::now` semantics.
+    pub fn stamp(&self) -> Micros {
+        self.now + self.charge
     }
 
     pub(crate) fn send(&mut self, to: PartyId, source: PartyId, round: Round, msg: RbcMsg<P>) {
@@ -276,12 +311,20 @@ pub struct EngineConfig {
     pub topology: Arc<ClanTopology>,
     /// CPU cost model for charge accounting.
     pub cost: CostModel,
+    /// Telemetry sink for RBC phase events (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl EngineConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (telemetry disabled; set the field to opt
+    /// in).
     pub fn new(me: PartyId, topology: Arc<ClanTopology>, cost: CostModel) -> EngineConfig {
-        EngineConfig { me, topology, cost }
+        EngineConfig {
+            me,
+            topology,
+            cost,
+            telemetry: Telemetry::null(),
+        }
     }
 
     /// Tribe quorum `2f+1`.
@@ -438,6 +481,7 @@ impl<P: TribePayload> Core<P> {
         fx: &mut Effects<P>,
     ) {
         let me = self.cfg.me;
+        let tel = self.cfg.telemetry.clone();
         let full_receiver = self.cfg.topology.receives_full(me, source);
         enum Act {
             Nothing,
@@ -455,6 +499,15 @@ impl<P: TribePayload> Core<P> {
                 round,
                 digest,
             });
+            tel.event(
+                fx.stamp(),
+                me,
+                Event::Rbc {
+                    phase: RbcPhase::Certified,
+                    round,
+                    source,
+                },
+            );
             if inst.delivered {
                 Act::Nothing
             } else if full_receiver {
@@ -467,6 +520,15 @@ impl<P: TribePayload> Core<P> {
                             round,
                             payload,
                         });
+                        tel.event(
+                            fx.stamp(),
+                            me,
+                            Event::Rbc {
+                                phase: RbcPhase::DeliverFull,
+                                round,
+                                source,
+                            },
+                        );
                         Act::Nothing
                     }
                     _ => {
@@ -489,6 +551,15 @@ impl<P: TribePayload> Core<P> {
                             round,
                             meta,
                         });
+                        tel.event(
+                            fx.stamp(),
+                            me,
+                            Event::Rbc {
+                                phase: RbcPhase::DeliverMeta,
+                                round,
+                                source,
+                            },
+                        );
                         Act::Nothing
                     }
                     _ => {
@@ -518,6 +589,7 @@ impl<P: TribePayload> Core<P> {
         fx: &mut Effects<P>,
     ) {
         let me = self.cfg.me;
+        let tel = self.cfg.telemetry.clone();
         let full_receiver = self.cfg.topology.receives_full(me, source);
         let inst = self.instance(round, source);
         if inst.echo_quorum_emitted {
@@ -529,6 +601,15 @@ impl<P: TribePayload> Core<P> {
             round,
             digest,
         });
+        tel.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::EchoQuorum,
+                round,
+                source,
+            },
+        );
         let lacks_payload = inst.payload.is_none();
         if full_receiver && lacks_payload {
             // Gentle first probe: one clan echoer. In the good case the
@@ -558,6 +639,16 @@ impl<P: TribePayload> Core<P> {
         }
         let already = inst.pull_level as usize;
         inst.pull_level = level;
+        self.cfg.telemetry.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::PullStarted,
+                round,
+                source,
+            },
+        );
+        let inst = self.instance(round, source);
         let want = if level >= 2 { clan.clan_quorum } else { 1 };
         let targets: Vec<PartyId> = inst
             .echoes
@@ -605,6 +696,16 @@ impl<P: TribePayload> Core<P> {
             return;
         }
         inst.meta_pull_sent = true;
+        self.cfg.telemetry.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::PullStarted,
+                round,
+                source,
+            },
+        );
+        let inst = self.instance(round, source);
         let mut targets: Vec<PartyId> = inst
             .echoes
             .get(&digest)

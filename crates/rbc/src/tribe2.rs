@@ -17,6 +17,7 @@ use crate::engine::{echo_statement, Core, Effects, EngineConfig, RbcMsg, RbcPack
 use crate::payload::TribePayload;
 use clanbft_crypto::multisig::AggregateVerdict;
 use clanbft_crypto::{AggregateSignature, Authenticator, Digest};
+use clanbft_telemetry::{Event, RbcPhase};
 use clanbft_types::{PartyId, Round};
 use std::sync::Arc;
 
@@ -60,6 +61,15 @@ impl<P: TribePayload> TribeRbc2<P> {
         let meta = payload.meta();
         fx.charge(self.core.cfg.cost.hash(payload.wire_bytes()));
         fx.charge(self.core.cfg.cost.sign());
+        self.core.cfg.telemetry.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::ValSent,
+                round,
+                source: me,
+            },
+        );
         for p in topo.tribe().parties() {
             if clan.contains(p) {
                 fx.send(p, me, round, RbcMsg::Val(payload.clone()));
@@ -169,6 +179,15 @@ impl<P: TribePayload> TribeRbc2<P> {
             inst.echoed = Some(digest);
         }
         fx.charge(self.core.cfg.cost.sign());
+        self.core.cfg.telemetry.event(
+            fx.stamp(),
+            self.core.cfg.me,
+            Event::Rbc {
+                phase: RbcPhase::Echoed,
+                round,
+                source,
+            },
+        );
         let sig = Arc::new(self.auth.sign_digest(&statement));
         for p in parties {
             fx.send(

@@ -10,6 +10,7 @@
 use crate::engine::{Core, Effects, EngineConfig, RbcMsg, RbcPacket};
 use crate::payload::TribePayload;
 use clanbft_crypto::Digest;
+use clanbft_telemetry::{Event, RbcPhase};
 use clanbft_types::{PartyId, Round};
 
 /// The 3-round tribe-assisted RBC engine (all instances for one party).
@@ -39,6 +40,15 @@ impl<P: TribePayload> TribeRbc3<P> {
         let clan = topo.clan_for_sender(me);
         let meta = payload.meta();
         fx.charge(self.core.cfg.cost.hash(payload.wire_bytes()));
+        self.core.cfg.telemetry.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::ValSent,
+                round,
+                source: me,
+            },
+        );
         for p in topo.tribe().parties() {
             if clan.contains(p) {
                 fx.send(p, me, round, RbcMsg::Val(payload.clone()));
@@ -148,6 +158,15 @@ impl<P: TribePayload> TribeRbc3<P> {
             return;
         }
         inst.echoed = Some(digest);
+        self.core.cfg.telemetry.event(
+            fx.stamp(),
+            self.core.cfg.me,
+            Event::Rbc {
+                phase: RbcPhase::Echoed,
+                round,
+                source,
+            },
+        );
         for p in parties {
             fx.send(p, source, round, RbcMsg::Echo { digest, sig: None });
         }

@@ -104,7 +104,14 @@ impl ExperimentSpec {
 
     /// Runs the data point and reports metrics.
     pub fn run(&self) -> RunMetrics {
-        let spec = self.tribe_spec();
+        self.run_with(clanbft_telemetry::Telemetry::null())
+    }
+
+    /// Runs the data point with a telemetry sink attached to the network and
+    /// every node, and reports metrics.
+    pub fn run_with(&self, telemetry: clanbft_telemetry::Telemetry) -> RunMetrics {
+        let mut spec = self.tribe_spec();
+        spec.telemetry = telemetry;
         let mut built = build_tribe(&spec);
         // Generous wall-clock bound; benign runs drain far earlier because
         // proposing stops at `rounds`.

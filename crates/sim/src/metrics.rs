@@ -22,6 +22,8 @@ pub struct RunMetrics {
     pub throughput_tps: f64,
     /// Mean creation→commit-everywhere latency.
     pub avg_latency: Micros,
+    /// Median per-batch latency.
+    pub p50_latency: Micros,
     /// 99th percentile of per-batch latency.
     pub p99_latency: Micros,
     /// Span of the measurement window.
@@ -30,6 +32,22 @@ pub struct RunMetrics {
     pub committed_rounds: u64,
     /// Total bytes placed on the simulated wire (whole run, all nodes).
     pub total_bytes: u64,
+}
+
+impl RunMetrics {
+    /// One NDJSON line, suitable for appending to a results file.
+    pub fn to_json(&self) -> String {
+        clanbft_telemetry::JsonObj::new()
+            .u64("committed_txs", self.committed_txs)
+            .f64("throughput_tps", self.throughput_tps)
+            .u64("avg_latency_us", self.avg_latency.0)
+            .u64("p50_latency_us", self.p50_latency.0)
+            .u64("p99_latency_us", self.p99_latency.0)
+            .u64("window_us", self.window.0)
+            .u64("committed_rounds", self.committed_rounds)
+            .u64("total_bytes", self.total_bytes)
+            .finish()
+    }
 }
 
 /// Collects metrics over the honest nodes after a run.
@@ -101,12 +119,14 @@ pub fn collect_metrics(
     } else {
         Micros::ZERO
     };
+    let p50_latency = percentile(&mut latencies, 0.50);
     let p99_latency = percentile(&mut latencies, 0.99);
 
     RunMetrics {
         committed_txs: txs,
         throughput_tps,
         avg_latency,
+        p50_latency,
         p99_latency,
         window,
         committed_rounds,
@@ -121,7 +141,13 @@ fn percentile(samples: &mut [(Micros, u64)], q: f64) -> Micros {
     }
     samples.sort_by_key(|(l, _)| *l);
     let total: u64 = samples.iter().map(|(_, w)| *w).sum();
-    let target = (total as f64 * q).ceil() as u64;
+    if total == 0 {
+        return Micros::ZERO;
+    }
+    // Rank of the sample holding quantile `q`, 1-based. The lower clamp
+    // makes q = 0.0 return the minimum rather than tripping `acc >= 0` on
+    // the first bucket regardless of its weight.
+    let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
     let mut acc = 0u64;
     for (l, w) in samples.iter() {
         acc += w;
@@ -143,5 +169,37 @@ mod tests {
         assert_eq!(percentile(&mut s, 0.99), Micros(200));
         assert_eq!(percentile(&mut s, 1.0), Micros(300));
         assert_eq!(percentile(&mut [], 0.5), Micros::ZERO);
+    }
+
+    #[test]
+    fn percentile_q_zero_is_the_minimum() {
+        let mut s = vec![(Micros(300), 5), (Micros(100), 5), (Micros(200), 5)];
+        assert_eq!(percentile(&mut s, 0.0), Micros(100));
+        // A zero-weight sample never carries a quantile, even at q = 0.
+        let mut z = vec![(Micros(50), 0), (Micros(80), 3)];
+        assert_eq!(percentile(&mut z, 0.0), Micros(80));
+        // All-zero weights degrade gracefully instead of dividing rank 0.
+        let mut all_zero = vec![(Micros(10), 0)];
+        assert_eq!(percentile(&mut all_zero, 0.5), Micros::ZERO);
+    }
+
+    #[test]
+    fn run_metrics_json_line() {
+        let m = RunMetrics {
+            committed_txs: 10,
+            throughput_tps: 2.5,
+            avg_latency: Micros(400),
+            p50_latency: Micros(350),
+            p99_latency: Micros(900),
+            window: Micros(4_000_000),
+            committed_rounds: 8,
+            total_bytes: 1234,
+        };
+        let line = m.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"committed_txs\":10"));
+        assert!(line.contains("\"p50_latency_us\":350"));
+        assert!(line.contains("\"p99_latency_us\":900"));
+        assert!(line.contains("\"throughput_tps\":2.5"));
     }
 }

@@ -9,6 +9,7 @@ use clanbft_simnet::bandwidth::BandwidthModel;
 use clanbft_simnet::cost::CostModel;
 use clanbft_simnet::net::{Partition, SimConfig, Simulator};
 use clanbft_simnet::regions::LatencyMatrix;
+use clanbft_telemetry::Telemetry;
 use clanbft_types::{ClanId, Micros, PartyId, TribeParams};
 use std::sync::Arc;
 
@@ -48,6 +49,9 @@ pub struct TribeSpec {
     pub execute: bool,
     /// Place all nodes in one region (isolates CPU/bandwidth effects).
     pub single_region: bool,
+    /// Telemetry sink shared by the network and every node (disabled by
+    /// default; see `clanbft_telemetry`).
+    pub telemetry: Telemetry,
 }
 
 impl TribeSpec {
@@ -70,6 +74,7 @@ impl TribeSpec {
             verify_sigs: false,
             execute: false,
             single_region: false,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -152,6 +157,7 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
     sim_cfg.partitions = spec.partitions.clone();
     sim_cfg.gst = spec.gst;
     sim_cfg.pre_gst_extra_max = spec.pre_gst_extra_max;
+    sim_cfg.telemetry = spec.telemetry.clone();
 
     let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, spec.seed);
     let nodes: Vec<SailfishNode> = keypairs
@@ -174,6 +180,7 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.is_block_proposer = topology.clan_for_sender(me).contains(me);
             cfg.verify_sigs = spec.verify_sigs;
             cfg.execute = spec.execute;
+            cfg.telemetry = spec.telemetry.clone();
             SailfishNode::new(cfg, auth)
         })
         .collect();

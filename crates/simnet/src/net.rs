@@ -15,7 +15,9 @@ use crate::event::EventQueue;
 use crate::protocol::{Ctx, Message, Protocol};
 use crate::regions::LatencyMatrix;
 use clanbft_crypto::ClanRng;
+use clanbft_telemetry::{Event, Telemetry};
 use clanbft_types::{Micros, PartyId};
+use std::collections::BTreeMap;
 
 /// Messages at or below this size ride the control lane (their own TCP
 /// streams); larger ones are bulk block data sharing the uplink's bulk
@@ -61,6 +63,9 @@ pub struct SimConfig {
     pub crash_at: Vec<Option<Micros>>,
     /// Temporary link cuts.
     pub partitions: Vec<Partition>,
+    /// Telemetry sink for network-level events (drops, partition holds).
+    /// Defaults to the disabled handle: one branch per event site.
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -79,6 +84,7 @@ impl SimConfig {
             bulk_fanout: vec![n.saturating_sub(1).max(1); n],
             crash_at: vec![None; n],
             partitions: Vec::new(),
+            telemetry: Telemetry::null(),
         }
     }
 
@@ -104,12 +110,27 @@ pub struct NetStats {
     pub sent_msgs: Vec<u64>,
     /// Messages delivered to handlers.
     pub delivered_msgs: u64,
+    /// Messages lost to a crashed endpoint (sender crashed before the wire,
+    /// or receiver crashed before delivery).
+    pub dropped_msgs: u64,
+    /// Wire bytes of the dropped messages.
+    pub dropped_bytes: u64,
+    /// Messages held by a partition (delivered late after healing — this
+    /// sim's partitions delay, they never lose).
+    pub partitioned_msgs: u64,
+    /// Wire bytes per [`Message::kind`] label, across all senders.
+    pub bytes_by_kind: BTreeMap<&'static str, u64>,
 }
 
 impl NetStats {
     /// Total bytes sent across all nodes.
     pub fn total_bytes(&self) -> u64 {
         self.sent_bytes.iter().sum()
+    }
+
+    /// Bytes sent under one kind label (0 if never seen).
+    pub fn kind_bytes(&self, kind: &str) -> u64 {
+        *self.bytes_by_kind.get(kind).unwrap_or(&0)
     }
 }
 
@@ -159,7 +180,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
             stats: NetStats {
                 sent_bytes: vec![0; n],
                 sent_msgs: vec![0; n],
-                delivered_msgs: 0,
+                ..NetStats::default()
             },
             uplink_free: vec![Micros::ZERO; n],
             ctrl_free: vec![Micros::ZERO; n],
@@ -237,6 +258,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
         match *ev {
             SimEvent::Deliver { src, dst, msg } => {
                 if self.crashed(dst, at) {
+                    self.drop_msg(src, dst, &msg, at);
                     return true;
                 }
                 let start = self.busy_until[dst.idx()].max(at);
@@ -338,6 +360,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
         bulk_departure: Option<Micros>,
     ) {
         if self.crashed(src, at) {
+            self.drop_msg(src, dst, &msg, at);
             return;
         }
         if src == dst {
@@ -349,6 +372,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
         let bytes = msg.wire_bytes();
         self.stats.sent_bytes[src.idx()] += bytes as u64;
         self.stats.sent_msgs[src.idx()] += 1;
+        *self.stats.bytes_by_kind.entry(msg.kind()).or_insert(0) += bytes as u64;
 
         // Bulk messages share the burst departure computed in `absorb`;
         // control messages serialize on their own lane (separate TCP
@@ -380,15 +404,40 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
         }
 
         // Partitions hold messages until the link heals.
+        let mut held_until = None;
         for p in &self.cfg.partitions {
             let cut = (p.a == src && p.b == dst) || (p.a == dst && p.b == src);
             if cut && departure >= p.from && departure < p.until {
                 arrival = arrival.max(p.until + prop);
+                held_until = Some(held_until.unwrap_or(Micros::ZERO).max(p.until));
             }
+        }
+        if let Some(until) = held_until {
+            self.stats.partitioned_msgs += 1;
+            self.cfg
+                .telemetry
+                .event(departure, src, Event::PartitionHeld { src, dst, until });
         }
 
         self.queue
             .push(arrival, Box::new(SimEvent::Deliver { src, dst, msg }));
+    }
+
+    /// Accounts a message lost to a crashed endpoint.
+    fn drop_msg(&mut self, src: PartyId, dst: PartyId, msg: &M, at: Micros) {
+        let bytes = msg.wire_bytes() as u64;
+        self.stats.dropped_msgs += 1;
+        self.stats.dropped_bytes += bytes;
+        self.cfg.telemetry.event(
+            at,
+            src,
+            Event::MsgDropped {
+                src,
+                dst,
+                kind: msg.kind(),
+                bytes,
+            },
+        );
     }
 }
 
@@ -406,6 +455,13 @@ mod tests {
     impl Message for PingMsg {
         fn wire_bytes(&self) -> usize {
             64
+        }
+
+        fn kind(&self) -> &'static str {
+            match self {
+                PingMsg::Ping(_) => "ping",
+                PingMsg::Pong(_) => "pong",
+            }
         }
     }
 
@@ -564,6 +620,65 @@ mod tests {
         assert_eq!(stats.sent_msgs[1], 1);
         assert_eq!(stats.total_bytes(), 128);
         assert_eq!(stats.delivered_msgs, 2);
+        // Per-kind byte breakdown: one 64-byte ping, one 64-byte pong.
+        assert_eq!(stats.kind_bytes("ping"), 64);
+        assert_eq!(stats.kind_bytes("pong"), 64);
+        assert_eq!(stats.kind_bytes("other"), 0);
+        // Benign run: nothing dropped or partitioned.
+        assert_eq!(stats.dropped_msgs, 0);
+        assert_eq!(stats.dropped_bytes, 0);
+        assert_eq!(stats.partitioned_msgs, 0);
+
+        // Receiver crashed mid-flight: the ping goes on the wire (counted
+        // sent) but is dropped at delivery, so the pong never happens.
+        let mut sim = two_nodes(|cfg| {
+            cfg.crash_at[1] = Some(Micros(1));
+        });
+        sim.run_to_quiescence();
+        let stats = sim.stats();
+        assert_eq!(stats.sent_msgs[0], 1);
+        assert_eq!(stats.delivered_msgs, 0);
+        assert_eq!(stats.dropped_msgs, 1);
+        assert_eq!(stats.dropped_bytes, 64);
+        assert_eq!(stats.kind_bytes("pong"), 0);
+    }
+
+    /// Partition holds are counted (and the messages still arrive late).
+    #[test]
+    fn stats_count_partition_holds() {
+        let mut sim = two_nodes(|cfg| {
+            cfg.partitions.push(Partition {
+                a: PartyId(0),
+                b: PartyId(1),
+                from: Micros::ZERO,
+                until: Micros::from_millis(300),
+            });
+        });
+        sim.run_to_quiescence();
+        let stats = sim.stats();
+        // The ping is held; the pong departs after healing and flows free.
+        assert_eq!(stats.partitioned_msgs, 1);
+        assert_eq!(stats.dropped_msgs, 0);
+        assert_eq!(stats.delivered_msgs, 2);
+    }
+
+    /// Network-level telemetry: drops and partition holds emit events.
+    #[test]
+    fn telemetry_records_drops_and_holds() {
+        use clanbft_telemetry::Telemetry;
+        let (tel, rec) = Telemetry::mem();
+        let mut sim = two_nodes(|cfg| {
+            cfg.telemetry = tel;
+            cfg.crash_at[1] = Some(Micros(1));
+        });
+        sim.run_to_quiescence();
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        let nd = events[0].to_ndjson();
+        assert!(
+            nd.contains(r#""ev":"msg_dropped""#) && nd.contains(r#""kind":"ping""#),
+            "unexpected event line: {nd}"
+        );
     }
 
     /// Charged CPU time serializes a node's message processing.

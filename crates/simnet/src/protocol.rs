@@ -13,6 +13,13 @@ use clanbft_types::{Micros, PartyId};
 pub trait Message: Clone + std::fmt::Debug + Send + 'static {
     /// Bytes this message occupies on the wire.
     fn wire_bytes(&self) -> usize;
+
+    /// Stable label for per-kind traffic accounting (e.g. `"rbc.echo"`,
+    /// `"vote"`). The default lumps everything under one bucket; protocols
+    /// override it to get a byte breakdown in `NetStats`.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// A deterministic protocol node.

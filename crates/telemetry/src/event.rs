@@ -1,0 +1,261 @@
+//! The typed protocol event log.
+//!
+//! Every event is stamped at emission with the simulated clock and the
+//! observing party ([`Stamped`]). The taxonomy covers the three layers the
+//! paper's latency arithmetic decomposes: consensus (rounds, votes,
+//! commits), the tribe-assisted RBC phases, and the simulated network
+//! (drops, partition holds). Event streams are deterministic: same seed,
+//! byte-identical NDJSON.
+
+use crate::ndjson::JsonObj;
+use clanbft_types::{Micros, PartyId, Round};
+
+/// Which phase of a broadcast instance an [`Event::Rbc`] marks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RbcPhase {
+    /// The source pushed VAL/meta for the instance.
+    ValSent,
+    /// This party echoed the instance's digest.
+    Echoed,
+    /// `2f+1` echoes incl. `f_c+1` clan echoes observed (early-pull gate).
+    EchoQuorum,
+    /// The digest is certified (2f+1 READYs or a valid echo certificate).
+    Certified,
+    /// `r_deliver` of the full payload.
+    DeliverFull,
+    /// `r_deliver` of the meta view.
+    DeliverMeta,
+    /// A payload/meta pull was started.
+    PullStarted,
+}
+
+impl RbcPhase {
+    /// Stable label used in the NDJSON stream.
+    pub fn label(self) -> &'static str {
+        match self {
+            RbcPhase::ValSent => "val_sent",
+            RbcPhase::Echoed => "echoed",
+            RbcPhase::EchoQuorum => "echo_quorum",
+            RbcPhase::Certified => "certified",
+            RbcPhase::DeliverFull => "deliver_full",
+            RbcPhase::DeliverMeta => "deliver_meta",
+            RbcPhase::PullStarted => "pull_started",
+        }
+    }
+}
+
+/// One protocol event (the un-stamped body).
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The party advanced into `round`.
+    RoundEntered {
+        /// The round entered.
+        round: Round,
+    },
+    /// The party proposed its round-`round` vertex.
+    VertexProposed {
+        /// Proposal round.
+        round: Round,
+        /// Transactions in the proposed block.
+        tx_count: u64,
+    },
+    /// A broadcast instance `(round, source)` reached `phase` at this party.
+    Rbc {
+        /// RBC phase reached.
+        phase: RbcPhase,
+        /// Instance round.
+        round: Round,
+        /// Instance source.
+        source: PartyId,
+    },
+    /// The party voted for the round leader's vertex.
+    LeaderVote {
+        /// Voted round.
+        round: Round,
+        /// The round's leader (vertex source voted for).
+        leader: PartyId,
+    },
+    /// The party announced a timeout for `round` (it will never vote there).
+    TimeoutAnnounced {
+        /// The round timed out on.
+        round: Round,
+    },
+    /// `2f+1` timeout announcements assembled into a timeout certificate.
+    TimeoutCertFormed {
+        /// Certified round.
+        round: Round,
+    },
+    /// `2f+1` no-vote announcements assembled into a no-vote certificate.
+    NoVoteCertFormed {
+        /// Certified round.
+        round: Round,
+    },
+    /// A vertex entered this party's total order.
+    VertexCommitted {
+        /// Vertex round.
+        round: Round,
+        /// Vertex source.
+        source: PartyId,
+        /// Whether this is the round leader's vertex (direct 3δ path) or a
+        /// non-leader vertex swept in through the causal history (5δ path).
+        leader: bool,
+        /// Position in this party's total order.
+        sequence: u64,
+    },
+    /// The simulator dropped a message (crashed endpoint).
+    MsgDropped {
+        /// Sender.
+        src: PartyId,
+        /// Intended receiver.
+        dst: PartyId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Wire bytes lost.
+        bytes: u64,
+    },
+    /// A partition held a message; it will be delivered after healing.
+    PartitionHeld {
+        /// Sender.
+        src: PartyId,
+        /// Receiver.
+        dst: PartyId,
+        /// When the cut heals.
+        until: Micros,
+    },
+    /// Straw-man: a proof of availability completed (`f_c+1` acks).
+    PoaFormed {
+        /// Owner-local block sequence number.
+        seq: u64,
+    },
+    /// Straw-man: a sequencing slot committed at this party.
+    SlotCommitted {
+        /// The slot.
+        slot: u64,
+        /// Transactions sequenced in it.
+        txs: u64,
+    },
+}
+
+impl Event {
+    /// Stable event-type label used in the NDJSON stream.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::RoundEntered { .. } => "round_entered",
+            Event::VertexProposed { .. } => "vertex_proposed",
+            Event::Rbc { .. } => "rbc",
+            Event::LeaderVote { .. } => "leader_vote",
+            Event::TimeoutAnnounced { .. } => "timeout_announced",
+            Event::TimeoutCertFormed { .. } => "timeout_cert_formed",
+            Event::NoVoteCertFormed { .. } => "no_vote_cert_formed",
+            Event::VertexCommitted { .. } => "vertex_committed",
+            Event::MsgDropped { .. } => "msg_dropped",
+            Event::PartitionHeld { .. } => "partition_held",
+            Event::PoaFormed { .. } => "poa_formed",
+            Event::SlotCommitted { .. } => "slot_committed",
+        }
+    }
+}
+
+/// An event stamped with simulated time and the observing party.
+#[derive(Clone, Debug)]
+pub struct Stamped {
+    /// Simulated time of emission.
+    pub at: Micros,
+    /// The party that observed/emitted the event.
+    pub party: PartyId,
+    /// The event body.
+    pub event: Event,
+}
+
+impl Stamped {
+    /// Renders the event as one NDJSON line (no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        let base = JsonObj::new()
+            .u64("at", self.at.0)
+            .u64("party", self.party.0 as u64)
+            .str("ev", self.event.label());
+        match &self.event {
+            Event::RoundEntered { round }
+            | Event::TimeoutAnnounced { round }
+            | Event::TimeoutCertFormed { round }
+            | Event::NoVoteCertFormed { round } => base.u64("round", round.0),
+            Event::VertexProposed { round, tx_count } => {
+                base.u64("round", round.0).u64("txs", *tx_count)
+            }
+            Event::Rbc {
+                phase,
+                round,
+                source,
+            } => base
+                .str("phase", phase.label())
+                .u64("round", round.0)
+                .u64("source", source.0 as u64),
+            Event::LeaderVote { round, leader } => {
+                base.u64("round", round.0).u64("leader", leader.0 as u64)
+            }
+            Event::VertexCommitted {
+                round,
+                source,
+                leader,
+                sequence,
+            } => base
+                .u64("round", round.0)
+                .u64("source", source.0 as u64)
+                .bool("leader", *leader)
+                .u64("seq", *sequence),
+            Event::MsgDropped {
+                src,
+                dst,
+                kind,
+                bytes,
+            } => base
+                .u64("src", src.0 as u64)
+                .u64("dst", dst.0 as u64)
+                .str("kind", kind)
+                .u64("bytes", *bytes),
+            Event::PartitionHeld { src, dst, until } => base
+                .u64("src", src.0 as u64)
+                .u64("dst", dst.0 as u64)
+                .u64("until", until.0),
+            Event::PoaFormed { seq } => base.u64("seq", *seq),
+            Event::SlotCommitted { slot, txs } => base.u64("slot", *slot).u64("txs", *txs),
+        }
+        .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_lines_are_stable() {
+        let s = Stamped {
+            at: Micros(1_234),
+            party: PartyId(3),
+            event: Event::VertexCommitted {
+                round: Round(7),
+                source: PartyId(2),
+                leader: true,
+                sequence: 11,
+            },
+        };
+        assert_eq!(
+            s.to_ndjson(),
+            r#"{"at":1234,"party":3,"ev":"vertex_committed","round":7,"source":2,"leader":true,"seq":11}"#
+        );
+        let r = Stamped {
+            at: Micros(9),
+            party: PartyId(0),
+            event: Event::Rbc {
+                phase: RbcPhase::Certified,
+                round: Round(1),
+                source: PartyId(4),
+            },
+        };
+        assert_eq!(
+            r.to_ndjson(),
+            r#"{"at":9,"party":0,"ev":"rbc","phase":"certified","round":1,"source":4}"#
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Log-bucketed histograms for latency-grade value ranges.
+//!
+//! Buckets are powers of two: value `0` lands in bucket 0, and a value
+//! `v > 0` lands in bucket `⌊log2 v⌋ + 1`, i.e. bucket `i ≥ 1` covers
+//! `[2^(i−1), 2^i)`. That gives ~6% worst-case relative error at the p99
+//! readout for microsecond latencies while keeping the footprint at 65
+//! counters — the same trade Prometheus-style exporters make. Exact
+//! `min`/`max`/`sum` are tracked on the side so the tails and the mean
+//! stay precise.
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-shape log-bucketed histogram over `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a sample.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile readout: the lower bound of the bucket holding the sample
+    /// of rank `⌈q·count⌉` (clamped to at least rank 1), itself clamped
+    /// into `[min, max]` so `q = 0.0` reports the exact minimum and
+    /// `q = 1.0` never overshoots the exact maximum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(p50, p90, p99, max)` in one call — the standard readout.
+    pub fn readout(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max(),
+        )
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bucket boundaries are part of the trace format: pinned.
+    #[test]
+    fn bucket_boundaries_pinned() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn percentile_readout_pinned() {
+        let mut h = Histogram::new();
+        // 98 samples at ~100us, one at ~200, one at ~300.
+        for _ in 0..98 {
+            h.record(100);
+        }
+        h.record(200);
+        h.record(300);
+        assert_eq!(h.count(), 100);
+        // 100 lands in [64,128): floor 64, clamped to min 100.
+        assert_eq!(h.percentile(0.50), 100);
+        // Rank 99 is the 200 sample: bucket [128,256) → floor 128.
+        assert_eq!(h.percentile(0.99), 128);
+        // Rank 100 is the 300 sample: bucket [256,512) → floor 256.
+        assert_eq!(h.percentile(1.0), 256);
+        assert_eq!(h.max(), 300);
+        assert_eq!(h.min(), 100);
+    }
+
+    /// q = 0.0 must report the exact minimum, even when the distribution is
+    /// one weight-heavy value (the `metrics::percentile` regression class).
+    #[test]
+    fn zero_quantile_is_min() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(5_000);
+        }
+        h.record(12);
+        assert_eq!(h.percentile(0.0), 12);
+        assert_eq!(h.min(), 12);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let mut b = Histogram::new();
+        b.record(60);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 30.0).abs() < 1e-9);
+        assert_eq!(a.max(), 60);
+        assert_eq!(a.min(), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability substrate for the clanbft workspace (zero external deps).
+//!
+//! The paper's claims are about *where* time and bytes go — vertex-RBC vs.
+//! block-RBC phases, leader vs. non-leader commit paths (3δ vs. 5δ),
+//! clan-local vs. tribe-wide traffic — but end-to-end throughput/latency
+//! totals cannot check any of them. This crate provides the measuring
+//! stick:
+//!
+//! * [`recorder`] — the [`Recorder`] trait with [`NullRecorder`] (the
+//!   default; one branch per call site when disabled) and [`MemRecorder`]
+//!   (named counters, gauges, log-bucketed histograms, and the full event
+//!   log). The cloneable [`Telemetry`] handle is what gets threaded through
+//!   consensus, the RBC engines and the simulator.
+//! * [`event`] — the typed protocol event log: every event is stamped with
+//!   sim-time [`Micros`] and the observing [`PartyId`].
+//! * [`hist`] — power-of-two log-bucketed [`Histogram`] with p50/p90/p99
+//!   and max readout.
+//! * [`ndjson`] — a hand-rolled JSON writer (matching the `codec.rs`
+//!   philosophy: deterministic, dependency-free) so runs emit
+//!   machine-readable traces, one event per line.
+//! * [`stage`] — derives the per-vertex commit-latency *stage breakdown*
+//!   (propose → RBC-deliver → vote → commit), split by leader/non-leader
+//!   path, from a recorded event stream.
+//!
+//! [`Micros`]: clanbft_types::Micros
+//! [`PartyId`]: clanbft_types::PartyId
+
+pub mod event;
+pub mod hist;
+pub mod ndjson;
+pub mod recorder;
+pub mod stage;
+
+pub use event::{Event, RbcPhase, Stamped};
+pub use hist::Histogram;
+pub use ndjson::JsonObj;
+pub use recorder::{MemRecorder, NullRecorder, Recorder, Telemetry};
+pub use stage::{stage_breakdown, StageBreakdown, StageStats};

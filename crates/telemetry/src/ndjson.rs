@@ -1,0 +1,120 @@
+//! A minimal hand-rolled JSON object writer (NDJSON building block).
+//!
+//! Same philosophy as `clanbft_types::codec`: deterministic output, no
+//! external crates. Only what traces need — flat objects with string,
+//! integer, float and boolean fields, keys emitted in insertion order.
+
+use std::fmt::Write as _;
+
+/// Builder for one JSON object, rendered on a single line.
+#[derive(Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        push_json_string(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonObj {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (finite values only; non-finite renders as null,
+    /// which JSON cannot express as a number).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonObj {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        push_json_string(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Renders the object as one line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let line = JsonObj::new()
+            .u64("at", 42)
+            .str("ev", "round_entered")
+            .bool("leader", true)
+            .f64("tps", 1.5)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"at":42,"ev":"round_entered","leader":true,"tps":1.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let line = JsonObj::new().str("k", "a\"b\\c\nd\u{1}").finish();
+        assert_eq!(line, r#"{"k":"a\"b\\c\nd\u0001"}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(JsonObj::new().f64("x", f64::NAN).finish(), r#"{"x":null}"#);
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace summary: run an instrumented single-clan tribe, derive the
+//! commit-latency stage breakdown from the protocol event log, and check the
+//! trace invariants that CI relies on.
+//!
+//! ```text
+//! cargo run --example trace_summary
+//! ```
+//!
+//! The run attaches a `MemRecorder` to the simulator and every node, so each
+//! protocol step (round entry, proposal, RBC phases, votes, commits) lands in
+//! one time-stamped event stream. From that stream we derive per-vertex
+//! propose→certify→commit stage latencies (split by leader vs non-leader
+//! vertices, the paper's 3δ vs 5δ commit paths) and assert:
+//!
+//! 1. per party, committed sequence numbers and commit stamps are monotone;
+//! 2. per party, entered rounds are strictly increasing;
+//! 3. per committed vertex, propose ≤ certify ≤ commit in simulated time.
+//!
+//! Exits non-zero if any invariant fails, so `scripts/ci.sh` can run it as
+//! an end-to-end telemetry check.
+
+use clanbft_sim::{build_tribe, collect_metrics, tribe::elect_clan, TribeSpec};
+use clanbft_telemetry::{stage_breakdown, Event, RbcPhase, Telemetry};
+use clanbft_types::{Micros, PartyId, Round};
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 10;
+    let clan = elect_clan(n, 5, 42);
+    let (telemetry, recorder) = Telemetry::mem();
+
+    let mut spec = TribeSpec::new(n);
+    spec.clans = Some(vec![clan]);
+    spec.txs_per_proposal = 100;
+    spec.max_round = Some(10);
+    spec.seed = 42;
+    spec.telemetry = telemetry;
+
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(120));
+
+    let events = recorder.events();
+    println!("captured {} protocol events", events.len());
+    assert!(!events.is_empty(), "instrumented run produced no events");
+
+    // --- invariant 1: per-party commit order is monotone -------------------
+    let mut last_commit: BTreeMap<PartyId, (u64, Micros)> = BTreeMap::new();
+    let mut commits = 0u64;
+    for s in &events {
+        if let Event::VertexCommitted { sequence, .. } = s.event {
+            commits += 1;
+            if let Some(&(prev_seq, prev_at)) = last_commit.get(&s.party) {
+                assert!(
+                    sequence > prev_seq,
+                    "{}: commit sequence went {prev_seq} -> {sequence}",
+                    s.party
+                );
+                assert!(
+                    s.at >= prev_at,
+                    "{}: commit stamp went backwards ({prev_at} -> {})",
+                    s.party,
+                    s.at
+                );
+            }
+            last_commit.insert(s.party, (sequence, s.at));
+        }
+    }
+    assert!(commits > 0, "no vertices committed");
+    println!("invariant 1 ok: {commits} commit events, per-party monotone");
+
+    // --- invariant 2: per-party round entries strictly increase ------------
+    let mut last_round: BTreeMap<PartyId, Round> = BTreeMap::new();
+    for s in &events {
+        if let Event::RoundEntered { round } = s.event {
+            if let Some(&prev) = last_round.get(&s.party) {
+                assert!(
+                    round > prev,
+                    "{}: re-entered round {round} after {prev}",
+                    s.party
+                );
+            }
+            last_round.insert(s.party, round);
+        }
+    }
+    println!(
+        "invariant 2 ok: rounds strictly increasing on {} parties",
+        last_round.len()
+    );
+
+    // --- invariant 3: propose <= certify <= commit per vertex --------------
+    let mut proposed: BTreeMap<(Round, PartyId), Micros> = BTreeMap::new();
+    let mut certified: BTreeMap<(Round, PartyId, PartyId), Micros> = BTreeMap::new();
+    for s in &events {
+        match s.event {
+            Event::VertexProposed { round, .. } => {
+                proposed.entry((round, s.party)).or_insert(s.at);
+            }
+            Event::Rbc {
+                phase: RbcPhase::Certified,
+                round,
+                source,
+            } => {
+                certified.entry((round, source, s.party)).or_insert(s.at);
+            }
+            _ => {}
+        }
+    }
+    let mut checked = 0u64;
+    for s in &events {
+        if let Event::VertexCommitted { round, source, .. } = s.event {
+            let prop = proposed
+                .get(&(round, source))
+                .unwrap_or_else(|| panic!("commit of {source}@{round} without a proposal event"));
+            assert!(
+                *prop <= s.at,
+                "{source}@{round} committed at {} before proposal at {prop}",
+                s.at
+            );
+            if let Some(cert) = certified.get(&(round, source, s.party)) {
+                assert!(*prop <= *cert && *cert <= s.at);
+            }
+            checked += 1;
+        }
+    }
+    println!("invariant 3 ok: propose <= certify <= commit on {checked} commits\n");
+
+    // --- stage breakdown and run summary -----------------------------------
+    let breakdown = stage_breakdown(&events);
+    print!("{}", breakdown.to_ndjson());
+
+    let stats = built.sim.stats();
+    println!(
+        "\nwire: {} msgs, {} dropped, {} held by partitions",
+        stats.sent_msgs.iter().sum::<u64>(),
+        stats.dropped_msgs,
+        stats.partitioned_msgs
+    );
+    let metrics = collect_metrics(&built.sim, &built.honest, 2, 8);
+    println!("{}", metrics.to_json());
+}

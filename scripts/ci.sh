@@ -14,6 +14,15 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== instrumented sim (trace invariants)"
+# The example asserts per-party commit/round monotonicity and per-vertex
+# propose <= certify <= commit over a live telemetry stream; it exits
+# non-zero on any violation.
+cargo run --release --offline -p clanbft-sim --example trace_summary > /dev/null
+
 echo "== dependency audit (manifests must declare no external crates)"
 if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then
     echo "external crate reference found in a manifest" >&2
