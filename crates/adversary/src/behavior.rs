@@ -1,0 +1,36 @@
+//! The interposition point: a [`Behavior`] sits between a protocol node and
+//! the network, rewriting what the node sends and receives.
+
+use clanbft_simnet::protocol::Message;
+use clanbft_types::{Micros, PartyId};
+
+/// A Byzantine behaviour script.
+///
+/// The wrapped node runs the *honest* protocol unchanged; the behaviour
+/// decides what the rest of the tribe actually observes. `outbound` is
+/// called once per queued `(to, msg)` pair and emits zero or more
+/// replacement sends; `inbound` filters deliveries before the node sees
+/// them (returning `None` drops the message — e.g. refusing to serve
+/// pulls). Both receive the simulated clock so scripts can be time-gated.
+pub trait Behavior<M: Message>: Send {
+    /// Filters/transforms a message arriving at the wrapped node.
+    fn inbound(&mut self, from: PartyId, msg: M, now: Micros) -> Option<M> {
+        let _ = (from, now);
+        Some(msg)
+    }
+
+    /// Rewrites one outbound send into zero or more actual sends.
+    ///
+    /// The default forwards faithfully; overrides call `emit` for every
+    /// message that should reach the wire.
+    fn outbound(&mut self, to: PartyId, msg: M, now: Micros, emit: &mut dyn FnMut(PartyId, M)) {
+        let _ = now;
+        emit(to, msg);
+    }
+}
+
+/// The identity behaviour: forwards everything untouched. Wrapping a node
+/// with `Honest` must be observationally identical to not wrapping it.
+pub struct Honest;
+
+impl<M: Message> Behavior<M> for Honest {}

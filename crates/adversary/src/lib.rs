@@ -1,0 +1,115 @@
+//! Byzantine adversary harness for clanbft.
+//!
+//! The protocol crates implement *honest* nodes; proving they tolerate the
+//! paper's fault model requires running them against genuinely faulty
+//! peers. This crate provides the machinery:
+//!
+//! * [`Behavior`] — an interposition trait between a node and the network:
+//!   `outbound` rewrites each queued send into zero or more actual sends,
+//!   `inbound` filters deliveries before the node sees them;
+//! * [`AdversaryNode`] — wraps any [`Protocol`](clanbft_simnet::protocol::Protocol)
+//!   implementation with an optional behaviour. Unwrapped (honest) nodes
+//!   delegate directly; wrapped ones run against a scratch context whose
+//!   outbox is routed through the behaviour. `Deref`s to the inner node so
+//!   metrics code is oblivious;
+//! * [`Attack`] — cloneable scripts covering the misbehaviour classes the
+//!   hardened honest path must absorb: equivocation, digest mismatch,
+//!   selective withholding, replay, signature mutation and double voting.
+//!
+//! The simulator harness (`clanbft-sim`) wires this up via
+//! `TribeSpec::byzantine`, running tribes with up to `f` attackers while
+//! asserting agreement, liveness and that the attack left a detection trace
+//! (an `Evidence` record or a `rejected.*` counter).
+
+pub mod attacks;
+pub mod behavior;
+pub mod node;
+
+pub use attacks::{equivocation_twin, Attack};
+pub use behavior::{Behavior, Honest};
+pub use node::AdversaryNode;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clanbft_simnet::cost::CostModel;
+    use clanbft_simnet::protocol::{Ctx, Message, Protocol};
+    use clanbft_types::{Micros, PartyId};
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+
+    impl Message for Num {
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Echoes every received number back to the sender, +1.
+    struct EchoPlusOne;
+
+    impl Protocol<Num> for EchoPlusOne {
+        fn on_start(&mut self, ctx: &mut Ctx<Num>) {
+            ctx.send(PartyId(1), Num(0));
+            ctx.set_timer(Micros(5), 42);
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: Num, ctx: &mut Ctx<Num>) {
+            ctx.send(from, Num(msg.0 + 1));
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<Num>) {}
+    }
+
+    struct DropEven;
+
+    impl Behavior<Num> for DropEven {
+        fn inbound(&mut self, _from: PartyId, msg: Num, _now: Micros) -> Option<Num> {
+            (msg.0 % 2 == 1).then_some(msg)
+        }
+
+        fn outbound(
+            &mut self,
+            to: PartyId,
+            msg: Num,
+            _now: Micros,
+            emit: &mut dyn FnMut(PartyId, Num),
+        ) {
+            // Duplicate everything outbound.
+            emit(to, msg.clone());
+            emit(to, msg);
+        }
+    }
+
+    #[test]
+    fn honest_wrapper_is_transparent() {
+        let cost = CostModel::free();
+        let mut node = AdversaryNode::honest(EchoPlusOne);
+        let mut ctx: Ctx<Num> = Ctx::new(PartyId(0), Micros(0), &cost);
+        node.on_start(&mut ctx);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(ctx.take_timers(), vec![(Micros(5), 42)]);
+        assert!(!node.is_byzantine());
+    }
+
+    #[test]
+    fn behavior_intercepts_both_directions() {
+        let cost = CostModel::free();
+        let mut node = AdversaryNode::byzantine(EchoPlusOne, Box::new(DropEven));
+        assert!(node.is_byzantine());
+        let mut ctx: Ctx<Num> = Ctx::new(PartyId(0), Micros(0), &cost);
+        // Inbound even: dropped, no response.
+        node.on_message(PartyId(2), Num(4), &mut ctx);
+        assert!(ctx.take_outbox().is_empty());
+        // Inbound odd: passes, and the response is duplicated outbound.
+        node.on_message(PartyId(2), Num(3), &mut ctx);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1 .0, 4);
+        assert_eq!(out[1].1 .0, 4);
+        // Timers pass through interception untouched.
+        node.on_start(&mut ctx);
+        assert_eq!(ctx.take_timers(), vec![(Micros(5), 42)]);
+    }
+}

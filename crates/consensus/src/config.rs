@@ -39,6 +39,12 @@ pub struct NodeConfig {
     /// Garbage-collect DAG/RBC state this many rounds behind the commit
     /// frontier (`None` = never).
     pub gc_depth: Option<u64>,
+    /// Accept messages at most this many rounds ahead of the local round —
+    /// the bound on pending buffers a Byzantine flooder can fill.
+    pub round_window: u64,
+    /// Base deadline for re-requesting a certified-but-missing payload; each
+    /// retry backs off exponentially and rotates to fresh peers.
+    pub pull_retry: Micros,
     /// Telemetry sink, shared with the RBC engine (disabled by default).
     pub telemetry: Telemetry,
 }
@@ -62,6 +68,8 @@ impl NodeConfig {
             verify_sigs: true,
             execute: false,
             gc_depth: Some(16),
+            round_window: 256,
+            pull_retry: Micros::from_millis(500),
             telemetry: Telemetry::null(),
         }
     }

@@ -25,14 +25,14 @@ use crate::execution::Executor;
 use crate::messages::{vote_digest, ConsensusMsg};
 use crate::payload::MergedPayload;
 use crate::schedule::LeaderSchedule;
-use crate::trackers::{TimeoutTracker, VoteTracker};
+use crate::trackers::{TimeoutTracker, VoteOutcome, VoteTracker};
 use clanbft_crypto::{Authenticator, Digest};
 use clanbft_dag::{order, Dag, InsertOutcome};
-use clanbft_rbc::{Effects, EngineConfig, RbcEvent, TribePayload, TribeRbc2};
+use clanbft_rbc::{parse_retry_token, Effects, EngineConfig, RbcEvent, TribePayload, TribeRbc2};
 use clanbft_simnet::protocol::{Ctx, Protocol};
-use clanbft_telemetry::Event;
+use clanbft_telemetry::{counters, Event};
 use clanbft_types::certs::{no_vote_digest, timeout_digest, NoVoteCert, TimeoutCert};
-use clanbft_types::{Block, Encode, Micros, PartyId, Round, TxBatch, Vertex, VertexRef};
+use clanbft_types::{Block, Encode, Evidence, Micros, PartyId, Round, TxBatch, Vertex, VertexRef};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -64,6 +64,10 @@ pub struct ProposedBatch {
     pub count: u32,
 }
 
+/// At most this many evidence records are retained per node — enough for
+/// any audit while bounding what an equivocation storm can allocate.
+const EVIDENCE_CAP: usize = 256;
+
 /// The Sailfish / single-clan / multi-clan node.
 pub struct SailfishNode {
     cfg: NodeConfig,
@@ -83,6 +87,11 @@ pub struct SailfishNode {
     no_voted: HashSet<Round>,
     /// Certificates assembled from 2f+1 timeout announcements.
     certs_formed: HashMap<Round, (TimeoutCert, NoVoteCert)>,
+
+    /// Misbehaviour proof records observed by this node (capped).
+    evidence: Vec<Evidence>,
+    /// `(round, culprit)` pairs already evidenced — one record per pair.
+    evidence_keys: HashSet<(Round, PartyId)>,
 
     /// Vertices validated and accepted (pre- or post-DAG-liveness), with
     /// their content ids cached (vertex hashing is hot at scale).
@@ -114,6 +123,8 @@ impl SailfishNode {
     pub fn new(cfg: NodeConfig, auth: Arc<Authenticator>) -> SailfishNode {
         let mut engine_cfg = EngineConfig::new(cfg.me, Arc::clone(&cfg.topology), cfg.cost);
         engine_cfg.telemetry = cfg.telemetry.clone();
+        engine_cfg.round_window = cfg.round_window;
+        engine_cfg.pull_retry = cfg.pull_retry;
         let rbc =
             TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
         SailfishNode {
@@ -128,6 +139,8 @@ impl SailfishNode {
             voted: HashSet::new(),
             no_voted: HashSet::new(),
             certs_formed: HashMap::new(),
+            evidence: Vec::new(),
+            evidence_keys: HashSet::new(),
             accepted: HashMap::new(),
             blocks: HashMap::new(),
             late_arrivals: BTreeSet::new(),
@@ -164,6 +177,59 @@ impl SailfishNode {
     /// Total transactions in this node's committed log.
     pub fn committed_txs(&self) -> u64 {
         self.committed_log.iter().map(|c| c.block_tx_count).sum()
+    }
+
+    /// Misbehaviour evidence this node has accumulated (consensus-level
+    /// double votes and vote/timeout conflicts, plus RBC-level equivocation
+    /// drained from the broadcast engine).
+    pub fn evidence(&self) -> &[Evidence] {
+        &self.evidence
+    }
+
+    /// Records locally-detected misbehaviour: once per `(round, culprit)`,
+    /// counted, traced and retained up to [`EVIDENCE_CAP`].
+    fn record_evidence(&mut self, ev: Evidence, now: Micros) {
+        if !self.evidence_keys.insert((ev.round(), ev.culprit())) {
+            return;
+        }
+        self.cfg.telemetry.add(counters::EVIDENCE_RECORDED, 1);
+        self.cfg.telemetry.add(counters::REJECTED_EQUIVOCATION, 1);
+        self.cfg.telemetry.event(
+            now,
+            self.cfg.me,
+            Event::EvidenceRecorded {
+                kind: ev.kind(),
+                round: ev.round(),
+                culprit: ev.culprit(),
+            },
+        );
+        if self.evidence.len() < EVIDENCE_CAP {
+            self.evidence.push(ev);
+        }
+    }
+
+    /// Pulls evidence the RBC engine recorded (it already counted and traced
+    /// it) into this node's record.
+    fn absorb_rbc_evidence(&mut self) {
+        for ev in self.rbc.take_evidence() {
+            if self.evidence_keys.insert((ev.round(), ev.culprit()))
+                && self.evidence.len() < EVIDENCE_CAP
+            {
+                self.evidence.push(ev);
+            }
+        }
+    }
+
+    /// Round-window admission for direct consensus messages: discard what is
+    /// behind the GC horizon or further ahead than the bounded buffers allow.
+    fn admit_round(&mut self, round: Round) -> bool {
+        if round < self.dag.horizon()
+            || round.0 > self.current_round.0.saturating_add(self.cfg.round_window)
+        {
+            self.cfg.telemetry.add(counters::REJECTED_BUFFER_FULL, 1);
+            return false;
+        }
+        true
     }
 
     // --- proposing ---------------------------------------------------------
@@ -487,6 +553,9 @@ impl SailfishNode {
         self.blocks.retain(|r, _| r.round >= horizon);
         self.late_arrivals.retain(|r| r.round >= horizon);
         self.certs_formed.retain(|r, _| *r >= horizon);
+        // Evidence records stay (they are the audit trail, already capped);
+        // only their dedup keys are pruned with the rest of the round state.
+        self.evidence_keys.retain(|(r, _)| *r >= horizon);
     }
 
     // --- round advancement ---------------------------------------------------
@@ -503,6 +572,9 @@ impl SailfishNode {
             }
             let next = r.next();
             self.current_round = next;
+            // Advance the RBC admission window even when this node does not
+            // broadcast in `next` (e.g. past `max_round`).
+            self.rbc.note_round(next);
             self.cfg
                 .telemetry
                 .event(ctx.now(), self.cfg.me, Event::RoundEntered { round: next });
@@ -563,6 +635,7 @@ impl SailfishNode {
                 }
                 if !nested.out.is_empty()
                     || !nested.events.is_empty()
+                    || !nested.timers.is_empty()
                     || nested.charge > Micros::ZERO
                 {
                     queue.push(nested);
@@ -571,11 +644,15 @@ impl SailfishNode {
             for (to, pkt) in fx.out {
                 ctx.send(to, ConsensusMsg::Rbc(pkt));
             }
+            for (delay, token) in fx.timers {
+                ctx.set_timer(delay, token);
+            }
             for msg in extra_msgs {
                 // Votes go to everyone, ourselves included (loopback).
                 ctx.multicast(self.cfg.tribe.parties(), msg);
             }
         }
+        self.absorb_rbc_evidence();
         self.try_advance(ctx);
     }
 
@@ -587,17 +664,46 @@ impl SailfishNode {
         sig: clanbft_crypto::Signature,
         ctx: &mut Ctx<ConsensusMsg>,
     ) {
+        if !self.admit_round(round) {
+            return;
+        }
         ctx.charge(self.cfg.cost.aggregate(1));
         if self.cfg.verify_sigs
             && !self
                 .auth
                 .verify_digest(from.idx(), &vote_digest(round, &vertex_id), &sig)
         {
+            self.cfg.telemetry.add(counters::REJECTED_BAD_SIG, 1);
             return;
         }
-        if let Some(count) = self.votes.record(round, vertex_id, from) {
-            if count >= self.cfg.tribe.quorum() {
-                self.try_commit(round, ctx.now());
+        // A vote from a party that already announced a timeout for the same
+        // round breaks the vote/no-vote exclusivity honest nodes maintain.
+        if self.timeouts.announced(round, from) {
+            self.record_evidence(
+                Evidence::VoteTimeoutConflict { round, party: from },
+                ctx.now(),
+            );
+            return;
+        }
+        match self.votes.record(round, vertex_id, from) {
+            VoteOutcome::New(count) => {
+                if count >= self.cfg.tribe.quorum() {
+                    self.try_commit(round, ctx.now());
+                }
+            }
+            VoteOutcome::Duplicate => {
+                self.cfg.telemetry.add(counters::REJECTED_DUPLICATE, 1);
+            }
+            VoteOutcome::Conflict { first } => {
+                self.record_evidence(
+                    Evidence::DoubleVote {
+                        round,
+                        voter: from,
+                        first,
+                        second: vertex_id,
+                    },
+                    ctx.now(),
+                );
             }
         }
     }
@@ -610,6 +716,9 @@ impl SailfishNode {
         no_vote_sig: clanbft_crypto::Signature,
         ctx: &mut Ctx<ConsensusMsg>,
     ) {
+        if !self.admit_round(round) {
+            return;
+        }
         ctx.charge(self.cfg.cost.aggregate(2));
         if self.cfg.verify_sigs {
             let ok = self
@@ -619,10 +728,21 @@ impl SailfishNode {
                     .auth
                     .verify_digest(from.idx(), &no_vote_digest(round), &no_vote_sig);
             if !ok {
+                self.cfg.telemetry.add(counters::REJECTED_BAD_SIG, 1);
                 return;
             }
         }
+        // The mirror of the check in `on_vote`: a timeout announcement from
+        // a party whose vote we already counted is misbehaviour.
+        if self.votes.voted(round, from).is_some() {
+            self.record_evidence(
+                Evidence::VoteTimeoutConflict { round, party: from },
+                ctx.now(),
+            );
+            return;
+        }
         let Some(count) = self.timeouts.record(round, from, timeout_sig, no_vote_sig) else {
+            self.cfg.telemetry.add(counters::REJECTED_DUPLICATE, 1);
             return;
         };
         let quorum = self.cfg.tribe.quorum();
@@ -684,6 +804,14 @@ impl Protocol<ConsensusMsg> for SailfishNode {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<ConsensusMsg>) {
+        // Pull-retry timers live in their own token namespace (high bit
+        // set), disjoint from the plain round numbers used below.
+        if let Some((round, source)) = parse_retry_token(token) {
+            let mut fx = Effects::at(ctx.now());
+            self.rbc.on_retry(round, source, &mut fx);
+            self.flush(fx, ctx);
+            return;
+        }
         let round = Round(token);
         if round != self.current_round {
             return; // Stale timer; the round already advanced.

@@ -1,13 +1,41 @@
 //! Quorum trackers for leader votes and timeout announcements.
+//!
+//! Hardened against Byzantine senders: a party gets exactly one vote per
+//! round (a second vote for a different vertex is reported as a
+//! [`VoteOutcome::Conflict`] so the node can record equivocation evidence),
+//! which also bounds per-round memory to one digest entry per party rather
+//! than letting an attacker key unbounded `(round, digest)` pairs.
 
 use clanbft_crypto::{Bitmap, Digest, Signature};
 use clanbft_types::{PartyId, Round};
 use std::collections::HashMap;
 
-/// Counts leader votes per `(round, vertex_id)`.
+/// Result of recording one leader vote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// Fresh vote; the new count for `(round, vertex_id)`.
+    New(usize),
+    /// Same party, same vertex again — no new information.
+    Duplicate,
+    /// Same party voted for a *different* vertex this round: equivocation.
+    Conflict {
+        /// The vertex digest the party voted for first.
+        first: Digest,
+    },
+}
+
+/// Per-round vote bookkeeping.
+struct RoundVotes {
+    /// Vote counts per vertex digest.
+    per_digest: HashMap<Digest, Bitmap>,
+    /// First (only counted) vote per party — the equivocation detector.
+    voter_first: HashMap<PartyId, Digest>,
+}
+
+/// Counts leader votes: one per party per round.
 pub struct VoteTracker {
     n: usize,
-    votes: HashMap<(Round, Digest), Bitmap>,
+    per_round: HashMap<Round, RoundVotes>,
 }
 
 impl VoteTracker {
@@ -15,32 +43,51 @@ impl VoteTracker {
     pub fn new(n: usize) -> VoteTracker {
         VoteTracker {
             n,
-            votes: HashMap::new(),
+            per_round: HashMap::new(),
         }
     }
 
-    /// Records a vote; returns the new count, or `None` for a duplicate.
-    pub fn record(&mut self, round: Round, vertex_id: Digest, from: PartyId) -> Option<usize> {
-        let set = self
-            .votes
-            .entry((round, vertex_id))
-            .or_insert_with(|| Bitmap::new(self.n));
-        if !set.set(from.idx()) {
-            return None;
+    /// Records a vote, enforcing one-vote-per-party-per-round.
+    pub fn record(&mut self, round: Round, vertex_id: Digest, from: PartyId) -> VoteOutcome {
+        let n = self.n;
+        let entry = self.per_round.entry(round).or_insert_with(|| RoundVotes {
+            per_digest: HashMap::new(),
+            voter_first: HashMap::new(),
+        });
+        match entry.voter_first.get(&from) {
+            Some(first) if *first == vertex_id => VoteOutcome::Duplicate,
+            Some(first) => VoteOutcome::Conflict { first: *first },
+            None => {
+                entry.voter_first.insert(from, vertex_id);
+                let set = entry
+                    .per_digest
+                    .entry(vertex_id)
+                    .or_insert_with(|| Bitmap::new(n));
+                set.set(from.idx());
+                VoteOutcome::New(set.count())
+            }
         }
-        Some(set.count())
     }
 
     /// Current count for `(round, vertex_id)`.
     pub fn count(&self, round: Round, vertex_id: &Digest) -> usize {
-        self.votes
-            .get(&(round, *vertex_id))
+        self.per_round
+            .get(&round)
+            .and_then(|r| r.per_digest.get(vertex_id))
             .map_or(0, Bitmap::count)
+    }
+
+    /// The vertex `party` voted for in `round`, if it voted.
+    pub fn voted(&self, round: Round, party: PartyId) -> Option<Digest> {
+        self.per_round
+            .get(&round)
+            .and_then(|r| r.voter_first.get(&party))
+            .copied()
     }
 
     /// Drops rounds below `round`.
     pub fn prune_below(&mut self, round: Round) {
-        self.votes.retain(|(r, _), _| *r >= round);
+        self.per_round.retain(|r, _| *r >= round);
     }
 }
 
@@ -98,6 +145,13 @@ impl TimeoutTracker {
         self.per_round.get(&round)
     }
 
+    /// Whether `party` announced a timeout for `round`.
+    pub fn announced(&self, round: Round, party: PartyId) -> bool {
+        self.per_round
+            .get(&round)
+            .is_some_and(|r| r.senders.get(party.idx()))
+    }
+
     /// Drops rounds below `round`.
     pub fn prune_below(&mut self, round: Round) {
         self.per_round.retain(|r, _| *r >= round);
@@ -112,14 +166,37 @@ mod tests {
     fn votes_count_and_dedup() {
         let mut t = VoteTracker::new(4);
         let d = Digest::of(b"leader vertex");
-        assert_eq!(t.record(Round(1), d, PartyId(0)), Some(1));
-        assert_eq!(t.record(Round(1), d, PartyId(1)), Some(2));
-        assert_eq!(t.record(Round(1), d, PartyId(1)), None, "duplicate");
+        assert_eq!(t.record(Round(1), d, PartyId(0)), VoteOutcome::New(1));
+        assert_eq!(t.record(Round(1), d, PartyId(1)), VoteOutcome::New(2));
+        assert_eq!(
+            t.record(Round(1), d, PartyId(1)),
+            VoteOutcome::Duplicate,
+            "duplicate"
+        );
         assert_eq!(t.count(Round(1), &d), 2);
+        assert_eq!(t.voted(Round(1), PartyId(0)), Some(d));
+        assert_eq!(t.voted(Round(1), PartyId(3)), None);
         // Votes for a different digest are tracked separately.
         let d2 = Digest::of(b"other");
-        assert_eq!(t.record(Round(1), d2, PartyId(2)), Some(1));
+        assert_eq!(t.record(Round(1), d2, PartyId(2)), VoteOutcome::New(1));
         assert_eq!(t.count(Round(1), &d), 2);
+    }
+
+    #[test]
+    fn conflicting_vote_is_reported_not_counted() {
+        let mut t = VoteTracker::new(4);
+        let d = Digest::of(b"leader vertex");
+        let d2 = Digest::of(b"equivocation");
+        assert_eq!(t.record(Round(1), d, PartyId(1)), VoteOutcome::New(1));
+        assert_eq!(
+            t.record(Round(1), d2, PartyId(1)),
+            VoteOutcome::Conflict { first: d }
+        );
+        // The conflicting vote never lands in any count.
+        assert_eq!(t.count(Round(1), &d), 1);
+        assert_eq!(t.count(Round(1), &d2), 0);
+        // The same party votes freely in a different round.
+        assert_eq!(t.record(Round(2), d2, PartyId(1)), VoteOutcome::New(1));
     }
 
     #[test]
@@ -144,5 +221,7 @@ mod tests {
         assert_eq!(r.timeout_sigs.len(), 2);
         assert_eq!(r.no_vote_sigs.len(), 2);
         assert!(t.round(Round(9)).is_none());
+        assert!(t.announced(Round(2), PartyId(3)));
+        assert!(!t.announced(Round(2), PartyId(1)));
     }
 }

@@ -8,10 +8,43 @@ use crate::topology::ClanTopology;
 use clanbft_crypto::{AggregateSignature, Bitmap, Digest, Hasher, Signature};
 use clanbft_simnet::cost::CostModel;
 use clanbft_simnet::protocol::Message;
-use clanbft_telemetry::{Event, RbcPhase, Telemetry};
-use clanbft_types::{Micros, PartyId, Round};
+use clanbft_telemetry::{counters, Event, RbcPhase, Telemetry};
+use clanbft_types::{Evidence, Micros, PartyId, Round};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Retry attempts per pull before the engine gives up and leaves liveness
+/// to the consensus-level timeout path (bounds the timer chain).
+pub const MAX_PULL_ATTEMPTS: u8 = 6;
+
+/// Distinct digests tracked per instance before further ones are dropped:
+/// two prove equivocation; the margin absorbs replay noise without letting
+/// a Byzantine source allocate unboundedly.
+pub const MAX_DIGESTS_PER_INSTANCE: usize = 4;
+
+/// Evidence records retained per engine (telemetry still counts overflow).
+pub const EVIDENCE_CAP: usize = 256;
+
+/// High bit marking a timer token as an RBC pull-retry deadline. The
+/// consensus layer uses plain round numbers as timer tokens, so the two
+/// namespaces stay disjoint as long as rounds never reach 2^63.
+pub const RETRY_TOKEN_FLAG: u64 = 1 << 63;
+
+/// Packs `(round, source)` into a pull-retry timer token. Rounds must stay
+/// below 2^43 and party indices below 2^20 — both far beyond any run.
+pub fn retry_token(round: Round, source: PartyId) -> u64 {
+    debug_assert!(round.0 < (1 << 43) && (source.0 as u64) < (1 << 20));
+    RETRY_TOKEN_FLAG | (round.0 << 20) | source.0 as u64
+}
+
+/// Reverses [`retry_token`]; `None` for plain (consensus-round) tokens.
+pub fn parse_retry_token(token: u64) -> Option<(Round, PartyId)> {
+    if token & RETRY_TOKEN_FLAG == 0 {
+        return None;
+    }
+    let body = token & !RETRY_TOKEN_FLAG;
+    Some((Round(body >> 20), PartyId((body & 0xF_FFFF) as u32)))
+}
 
 /// One broadcast message, always in the context of `(source, round)`.
 #[derive(Clone, Debug)]
@@ -155,6 +188,9 @@ pub struct Effects<P: TribePayload> {
     /// Simulated time when the invocation started (telemetry stamp base;
     /// see [`Effects::at`]).
     pub now: Micros,
+    /// Timers to arm: `(delay, token)`. The node layer forwards these to
+    /// `Ctx::set_timer`; tokens carry the [`RETRY_TOKEN_FLAG`] namespace.
+    pub timers: Vec<(Micros, u64)>,
 }
 
 impl<P: TribePayload> Default for Effects<P> {
@@ -164,6 +200,7 @@ impl<P: TribePayload> Default for Effects<P> {
             events: Vec::new(),
             charge: Micros::ZERO,
             now: Micros::ZERO,
+            timers: Vec::new(),
         }
     }
 }
@@ -200,8 +237,9 @@ impl<P: TribePayload> Effects<P> {
     }
 }
 
-/// The statement an echo signature covers.
-pub(crate) fn echo_statement(source: PartyId, round: Round, digest: &Digest) -> Digest {
+/// The statement an echo signature covers. Public so tests and the
+/// adversary harness can craft echoes for parties they hold keys for.
+pub fn echo_statement(source: PartyId, round: Round, digest: &Digest) -> Digest {
     Hasher::new("clanbft/rbc-echo")
         .chain_u64(source.0 as u64)
         .chain_u64(round.0)
@@ -267,6 +305,21 @@ pub(crate) struct Instance<P: TribePayload> {
     pub served_pull: Bitmap,
     /// Peers already served a meta response (rate limiting).
     pub served_meta: Bitmap,
+    /// Digest the outstanding pull is for (certified digest once known).
+    pub pull_digest: Option<Digest>,
+    /// Peers this party has directed a pull at (rotation avoids re-asking).
+    pub asked: Bitmap,
+    /// Retry deadlines fired for this instance so far.
+    pub pull_attempts: u8,
+    /// Whether the retry timer chain is running.
+    pub retry_armed: bool,
+    /// Whether equivocation evidence was already recorded here (dedup).
+    pub equivocation_logged: bool,
+    /// Whether the held payload arrived as a direct VAL from the source
+    /// (makes a later certified-digest mismatch attributable equivocation).
+    pub payload_direct: bool,
+    /// Whether the held meta arrived as a direct ValMeta from the source.
+    pub meta_direct: bool,
 }
 
 impl<P: TribePayload> Instance<P> {
@@ -288,6 +341,13 @@ impl<P: TribePayload> Instance<P> {
             cert_sent: false,
             served_pull: Bitmap::new(n),
             served_meta: Bitmap::new(n),
+            pull_digest: None,
+            asked: Bitmap::new(n),
+            pull_attempts: 0,
+            retry_armed: false,
+            equivocation_logged: false,
+            payload_direct: false,
+            meta_direct: false,
         }
     }
 
@@ -313,6 +373,13 @@ pub struct EngineConfig {
     pub cost: CostModel,
     /// Telemetry sink for RBC phase events (disabled by default).
     pub telemetry: Telemetry,
+    /// Rounds above the engine's round hint that are still admitted; any
+    /// packet further in the future is rejected (`rejected.buffer_full`)
+    /// so a Byzantine peer cannot allocate unbounded instances.
+    pub round_window: u64,
+    /// Base pull-retry deadline; doubles per attempt (capped) while a
+    /// needed payload/meta view is outstanding.
+    pub pull_retry: Micros,
 }
 
 impl EngineConfig {
@@ -324,6 +391,8 @@ impl EngineConfig {
             topology,
             cost,
             telemetry: Telemetry::null(),
+            round_window: 256,
+            pull_retry: Micros::from_millis(500),
         }
     }
 
@@ -349,6 +418,15 @@ impl EngineConfig {
 pub(crate) struct Core<P: TribePayload> {
     pub cfg: EngineConfig,
     pub instances: HashMap<(Round, PartyId), Instance<P>>,
+    /// Rounds strictly below this were pruned and stay dead: replayed old
+    /// packets must not recreate instances (bounded memory under replay).
+    pub horizon: Round,
+    /// Highest round this party knows to be legitimately active (own
+    /// broadcasts, certifications, consensus round advances). The
+    /// admission window extends `cfg.round_window` beyond it.
+    pub round_hint: Round,
+    /// Recorded Byzantine conflicts, drained by the node layer.
+    pub evidence: Vec<Evidence>,
 }
 
 impl<P: TribePayload> Core<P> {
@@ -356,6 +434,52 @@ impl<P: TribePayload> Core<P> {
         Core {
             cfg,
             instances: HashMap::new(),
+            horizon: Round(0),
+            round_hint: Round(0),
+            evidence: Vec::new(),
+        }
+    }
+
+    /// Admission gate for every incoming packet: rejects rounds below the
+    /// prune horizon (stale/replayed) and rounds beyond the bounded
+    /// buffering window (far-future flooding). Counted, never silent.
+    pub(crate) fn admit(&mut self, round: Round) -> bool {
+        if round < self.horizon || round.0 > self.round_hint.0.saturating_add(self.cfg.round_window)
+        {
+            self.cfg.telemetry.add(counters::REJECTED_BUFFER_FULL, 1);
+            return false;
+        }
+        true
+    }
+
+    /// Widens the admission window: `round` is known legitimately active.
+    pub(crate) fn note_round(&mut self, round: Round) {
+        if round > self.round_hint {
+            self.round_hint = round;
+        }
+    }
+
+    /// Drains the evidence accumulated so far.
+    pub(crate) fn take_evidence(&mut self) -> Vec<Evidence> {
+        std::mem::take(&mut self.evidence)
+    }
+
+    /// Counts + stores one evidence record (callers dedup per instance).
+    pub(crate) fn record_evidence(&mut self, ev: Evidence, fx: &Effects<P>) {
+        let tel = &self.cfg.telemetry;
+        tel.add(counters::EVIDENCE_RECORDED, 1);
+        tel.add(counters::REJECTED_EQUIVOCATION, 1);
+        tel.event(
+            fx.stamp(),
+            self.cfg.me,
+            Event::EvidenceRecorded {
+                kind: ev.kind(),
+                round: ev.round(),
+                culprit: ev.culprit(),
+            },
+        );
+        if self.evidence.len() < EVIDENCE_CAP {
+            self.evidence.push(ev);
         }
     }
 
@@ -377,71 +501,151 @@ impl<P: TribePayload> Core<P> {
     }
 
     /// Drops state for instances strictly below `round` (garbage
-    /// collection; the DAG layer prunes in lockstep).
+    /// collection; the DAG layer prunes in lockstep) and remembers the
+    /// horizon so replayed packets cannot resurrect pruned instances.
     pub(crate) fn prune_below(&mut self, round: Round) {
+        if round > self.horizon {
+            self.horizon = round;
+        }
         self.instances.retain(|(r, _), _| *r >= round);
     }
 
     /// Accepts a full payload (from VAL or PullResp); returns the digest to
     /// act on if the payload is fresh and valid.
+    ///
+    /// `direct` marks a VAL straight from the source: conflicts there are
+    /// attributable equivocation (evidence + counter), while pulled-copy
+    /// redundancy (several `PullResp`s racing in) is protocol-normal and
+    /// stays silent.
     pub(crate) fn accept_payload(
         &mut self,
         round: Round,
         source: PartyId,
         payload: P,
+        direct: bool,
         fx: &mut Effects<P>,
     ) -> Option<Digest> {
         let cost = self.cfg.cost;
+        let tel = self.cfg.telemetry.clone();
         fx.charge(cost.hash(payload.wire_bytes()));
         if !payload.validate() {
+            tel.add(counters::REJECTED_BAD_PAYLOAD, 1);
             return None;
         }
         let digest = payload.rbc_digest();
         let inst = self.instance(round, source);
-        if inst.payload.is_some() {
+        if let Some(held) = inst.payload_digest {
+            if direct {
+                if held != digest {
+                    let logged = std::mem::replace(&mut inst.equivocation_logged, true);
+                    if !logged {
+                        self.record_evidence(
+                            Evidence::EquivocatingSource {
+                                round,
+                                source,
+                                first: held,
+                                second: digest,
+                            },
+                            fx,
+                        );
+                    } else {
+                        tel.add(counters::REJECTED_EQUIVOCATION, 1);
+                    }
+                } else {
+                    tel.add(counters::REJECTED_DUPLICATE, 1);
+                }
+            }
             return None;
         }
         // Payloads must match an already-certified digest when one exists
         // (a Byzantine responder cannot swap payloads post-certification).
         if let Some(c) = inst.certified {
             if c != digest {
+                if direct {
+                    // Certified A, then a direct VAL for B: the source
+                    // itself conflicts with its own certified broadcast.
+                    let logged = std::mem::replace(&mut inst.equivocation_logged, true);
+                    if !logged {
+                        self.record_evidence(
+                            Evidence::EquivocatingSource {
+                                round,
+                                source,
+                                first: c,
+                                second: digest,
+                            },
+                            fx,
+                        );
+                        return None;
+                    }
+                }
+                tel.add(counters::REJECTED_BAD_PAYLOAD, 1);
                 return None;
             }
         }
         if inst.meta.is_none() {
             inst.meta = Some(payload.meta());
             inst.meta_digest = Some(digest);
+            inst.meta_direct = direct;
         }
         inst.payload = Some(payload);
         inst.payload_digest = Some(digest);
+        inst.payload_direct = direct;
         fx.charge(cost.db_write());
         Some(digest)
     }
 
-    /// Accepts a meta view; returns its digest if fresh.
+    /// Accepts a meta view; returns its digest if fresh. `direct` as in
+    /// [`Core::accept_payload`].
     pub(crate) fn accept_meta(
         &mut self,
         round: Round,
         source: PartyId,
         meta: P::Meta,
+        direct: bool,
+        fx: &mut Effects<P>,
     ) -> Option<Digest> {
+        let tel = self.cfg.telemetry.clone();
         let digest = P::meta_digest(&meta);
         let inst = self.instance(round, source);
-        if inst.meta.is_some() {
+        if let Some(held) = inst.meta_digest {
+            if direct {
+                if held != digest {
+                    let logged = std::mem::replace(&mut inst.equivocation_logged, true);
+                    if !logged {
+                        self.record_evidence(
+                            Evidence::EquivocatingSource {
+                                round,
+                                source,
+                                first: held,
+                                second: digest,
+                            },
+                            fx,
+                        );
+                    } else {
+                        tel.add(counters::REJECTED_EQUIVOCATION, 1);
+                    }
+                } else {
+                    tel.add(counters::REJECTED_DUPLICATE, 1);
+                }
+            }
             return None;
         }
         if let Some(c) = inst.certified {
             if c != digest {
+                if direct {
+                    tel.add(counters::REJECTED_BAD_PAYLOAD, 1);
+                }
                 return None;
             }
         }
         inst.meta = Some(meta);
         inst.meta_digest = Some(digest);
+        inst.meta_direct = direct;
         Some(digest)
     }
 
     /// Records an echo; returns `(total, clan_count)` after insertion, or
-    /// `None` for duplicates.
+    /// `None` for duplicates, capped digests and rejected conflicts.
     pub(crate) fn note_echo(
         &mut self,
         round: Round,
@@ -449,12 +653,45 @@ impl<P: TribePayload> Core<P> {
         from: PartyId,
         digest: Digest,
         sig: Option<Signature>,
+        fx: &mut Effects<P>,
     ) -> Option<(usize, usize)> {
         let n = self.cfg.n();
+        let tel = self.cfg.telemetry.clone();
         let in_clan = self.cfg.topology.clan_for_sender(source).contains(from);
+        let inst = self.instance(round, source);
+        if !inst.echoes.contains_key(&digest) && !inst.echoes.is_empty() {
+            // A second distinct digest behind one instance: the source is
+            // behind two payloads (or an echoer is lying about it — see
+            // Evidence docs on attribution strength per variant).
+            if inst.echoes.len() >= MAX_DIGESTS_PER_INSTANCE {
+                tel.add(counters::REJECTED_BUFFER_FULL, 1);
+                return None;
+            }
+            if !inst.equivocation_logged {
+                inst.equivocation_logged = true;
+                // Deterministic "first" digest: what this party accepted
+                // or echoed, falling back to the smallest tracked key.
+                let first = inst
+                    .echoed
+                    .or(inst.payload_digest)
+                    .or(inst.meta_digest)
+                    .or_else(|| inst.echoes.keys().min().copied())
+                    .unwrap_or(Digest::ZERO);
+                self.record_evidence(
+                    Evidence::EquivocatingSource {
+                        round,
+                        source,
+                        first,
+                        second: digest,
+                    },
+                    fx,
+                );
+            }
+        }
         let inst = self.instance(round, source);
         let set = inst.echo_set(n, digest);
         if !set.all.set(from.idx()) {
+            tel.add(counters::REJECTED_DUPLICATE, 1);
             return None;
         }
         if in_clan {
@@ -483,16 +720,44 @@ impl<P: TribePayload> Core<P> {
         let me = self.cfg.me;
         let tel = self.cfg.telemetry.clone();
         let full_receiver = self.cfg.topology.receives_full(me, source);
+        // Certification required a real quorum, so the round is
+        // legitimately active: widen the admission window to it.
+        self.note_round(round);
         enum Act {
             Nothing,
             PullPayload,
             PullMeta,
         }
-        let act = {
+        let (act, conflict) = {
             let inst = self.instance(round, source);
             if inst.certified.is_some() {
                 return;
             }
+            // A direct copy from the source that disagrees with the digest
+            // the tribe certified is attributable equivocation.
+            let mut conflict: Option<Evidence> = None;
+            let mut note_conflict = |held: Option<Digest>, was_direct: bool, logged: &mut bool| {
+                if let Some(held) = held {
+                    if held != digest && was_direct && !std::mem::replace(logged, true) {
+                        conflict = Some(Evidence::EquivocatingSource {
+                            round,
+                            source,
+                            first: held,
+                            second: digest,
+                        });
+                    }
+                }
+            };
+            note_conflict(
+                inst.payload_digest,
+                inst.payload_direct,
+                &mut inst.equivocation_logged,
+            );
+            note_conflict(
+                inst.meta_digest,
+                inst.meta_direct,
+                &mut inst.equivocation_logged,
+            );
             inst.certified = Some(digest);
             fx.events.push(RbcEvent::Certified {
                 source,
@@ -508,7 +773,7 @@ impl<P: TribePayload> Core<P> {
                     source,
                 },
             );
-            if inst.delivered {
+            let act = if inst.delivered {
                 Act::Nothing
             } else if full_receiver {
                 match (&inst.payload, inst.payload_digest) {
@@ -570,8 +835,12 @@ impl<P: TribePayload> Core<P> {
                         Act::PullMeta
                     }
                 }
-            }
+            };
+            (act, conflict)
         };
+        if let Some(ev) = conflict {
+            self.record_evidence(ev, fx);
+        }
         match act {
             Act::Nothing => {}
             Act::PullPayload => self.start_pull(round, source, digest, 2, fx),
@@ -648,6 +917,7 @@ impl<P: TribePayload> Core<P> {
                 source,
             },
         );
+        let pull_retry = self.cfg.pull_retry;
         let inst = self.instance(round, source);
         let want = if level >= 2 { clan.clan_quorum } else { 1 };
         let targets: Vec<PartyId> = inst
@@ -675,8 +945,16 @@ impl<P: TribePayload> Core<P> {
         } else {
             targets
         };
+        inst.pull_digest = Some(digest);
         for t in targets {
+            inst.asked.set(t.idx());
             fx.send(t, source, round, RbcMsg::Pull { digest });
+        }
+        // Arm the retry chain: if none of the targets answers before the
+        // deadline, `on_retry` rotates to peers not yet asked.
+        if !inst.retry_armed {
+            inst.retry_armed = true;
+            fx.timers.push((pull_retry, retry_token(round, source)));
         }
     }
 
@@ -705,6 +983,7 @@ impl<P: TribePayload> Core<P> {
                 source,
             },
         );
+        let pull_retry = self.cfg.pull_retry;
         let inst = self.instance(round, source);
         let mut targets: Vec<PartyId> = inst
             .echoes
@@ -725,12 +1004,23 @@ impl<P: TribePayload> Core<P> {
                 .take(f1)
                 .collect();
         }
+        inst.pull_digest = Some(digest);
         for t in targets {
+            inst.asked.set(t.idx());
             fx.send(t, source, round, RbcMsg::PullMeta { digest });
+        }
+        if !inst.retry_armed {
+            inst.retry_armed = true;
+            fx.timers.push((pull_retry, retry_token(round, source)));
         }
     }
 
     /// Serves a pull request if this party holds the matching payload.
+    ///
+    /// Rate limit: one *response* per peer per instance. The slot is only
+    /// burned when a response is actually sent — a pull that raced ahead of
+    /// the payload leaves the peer eligible for its one answer later
+    /// (otherwise retries could never succeed against slow holders).
     pub(crate) fn handle_pull(
         &mut self,
         round: Round,
@@ -739,20 +1029,23 @@ impl<P: TribePayload> Core<P> {
         digest: Digest,
         fx: &mut Effects<P>,
     ) {
+        let tel = self.cfg.telemetry.clone();
         let inst = self.instance(round, source);
-        // Rate limit: one response per peer per instance.
-        if !inst.served_pull.set(from.idx()) {
+        if inst.served_pull.get(from.idx()) {
+            tel.add(counters::REJECTED_DUPLICATE, 1);
             return;
         }
         if let (Some(p), Some(d)) = (&inst.payload, inst.payload_digest) {
             if d == digest {
                 let payload = p.clone();
+                inst.served_pull.set(from.idx());
                 fx.send(from, source, round, RbcMsg::PullResp(payload));
             }
         }
     }
 
-    /// Serves a meta pull request.
+    /// Serves a meta pull request (same one-response rate limit as
+    /// [`Core::handle_pull`]).
     pub(crate) fn handle_pull_meta(
         &mut self,
         round: Round,
@@ -761,16 +1054,106 @@ impl<P: TribePayload> Core<P> {
         digest: Digest,
         fx: &mut Effects<P>,
     ) {
+        let tel = self.cfg.telemetry.clone();
         let inst = self.instance(round, source);
-        if !inst.served_meta.set(from.idx()) {
+        if inst.served_meta.get(from.idx()) {
+            tel.add(counters::REJECTED_DUPLICATE, 1);
             return;
         }
         if let (Some(m), Some(d)) = (&inst.meta, inst.meta_digest) {
             if d == digest {
                 let meta = m.clone();
+                inst.served_meta.set(from.idx());
                 fx.send(from, source, round, RbcMsg::MetaResp(meta));
             }
         }
+    }
+
+    /// Fires when a pull-retry deadline expires: if the instance still
+    /// needs data, re-send the pull to peers not yet asked (rotation) and
+    /// re-arm with exponential backoff. A withholding first target
+    /// therefore stalls delivery by at most one deadline.
+    pub(crate) fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        let me = self.cfg.me;
+        let tel = self.cfg.telemetry.clone();
+        let base = self.cfg.pull_retry;
+        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let clan = self.cfg.topology.clan_for_sender(source).clone();
+        let f1 = self.cfg.small_quorum();
+        let n = self.cfg.n();
+        if round < self.horizon {
+            return; // instance pruned (committed + GC'd): chain dies
+        }
+        let Some(inst) = self.instances.get_mut(&(round, source)) else {
+            return;
+        };
+        if inst.delivered || inst.pull_attempts >= MAX_PULL_ATTEMPTS {
+            inst.retry_armed = false;
+            return;
+        }
+        inst.pull_attempts += 1;
+        let delay = Micros(base.0 << (inst.pull_attempts.min(3) as u64));
+        let digest = match inst.certified.or(inst.pull_digest) {
+            Some(d) => d,
+            None => {
+                // Nothing certified and no pull outstanding: keep a slow
+                // heartbeat in case certification arrives later (it will
+                // escalate pulls itself; this chain is already armed).
+                fx.timers.push((delay, retry_token(round, source)));
+                return;
+            }
+        };
+        let needs = if full_receiver {
+            inst.payload.is_none()
+        } else {
+            inst.meta.is_none()
+        };
+        if !needs {
+            inst.retry_armed = false;
+            return;
+        }
+        // Rotate: prefer echoers of the digest we have not asked yet, then
+        // any eligible peer not asked; once everyone was asked, clear the
+        // slate and start over (a served response would have delivered).
+        let eligible: Vec<PartyId> = if full_receiver {
+            clan.members.iter().copied().filter(|p| *p != me).collect()
+        } else {
+            (0..n as u32).map(PartyId).filter(|p| *p != me).collect()
+        };
+        let want = if full_receiver {
+            clan.clan_quorum.max(1)
+        } else {
+            f1
+        };
+        let echoers: Vec<PartyId> = inst
+            .echoes
+            .get(&digest)
+            .map(|set| set.all.iter().map(|i| PartyId(i as u32)).collect())
+            .unwrap_or_default();
+        let mut targets: Vec<PartyId> = Vec::with_capacity(want);
+        for p in echoers.iter().chain(eligible.iter()).copied() {
+            if targets.len() >= want {
+                break;
+            }
+            if eligible.contains(&p) && !inst.asked.get(p.idx()) && !targets.contains(&p) {
+                targets.push(p);
+            }
+        }
+        if targets.is_empty() {
+            inst.asked = Bitmap::new(n);
+            targets = eligible.into_iter().take(want).collect();
+        }
+        tel.add(counters::PULL_RETRIES, 1);
+        for t in targets {
+            inst.asked.set(t.idx());
+            let msg = if full_receiver {
+                RbcMsg::Pull { digest }
+            } else {
+                RbcMsg::PullMeta { digest }
+            };
+            fx.send(t, source, round, msg);
+        }
+        fx.timers.push((delay, retry_token(round, source)));
     }
 
     /// Delivers if the instance is certified and this party now holds the
@@ -817,7 +1200,10 @@ impl<P: TribePayload> Core<P> {
         payload: P,
         fx: &mut Effects<P>,
     ) {
-        if self.accept_payload(round, source, payload, fx).is_none() {
+        if self
+            .accept_payload(round, source, payload, false, fx)
+            .is_none()
+        {
             return;
         }
         self.deliver_if_ready(round, source, fx);
@@ -831,7 +1217,7 @@ impl<P: TribePayload> Core<P> {
         meta: P::Meta,
         fx: &mut Effects<P>,
     ) {
-        if self.accept_meta(round, source, meta).is_none() {
+        if self.accept_meta(round, source, meta, false, fx).is_none() {
             return;
         }
         self.deliver_if_ready(round, source, fx);

@@ -38,6 +38,13 @@ impl<P: TribePayload> Engine<P> {
             Engine::Two(e) => e.broadcast(round, payload, fx),
         }
     }
+
+    fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        match self {
+            Engine::Three(e) => e.on_retry(round, source, fx),
+            Engine::Two(e) => e.on_retry(round, source, fx),
+        }
+    }
 }
 
 /// A delivered record kept by [`StandaloneNode`] for inspection.
@@ -115,6 +122,9 @@ impl<P: TribePayload> StandaloneNode<P> {
         for (to, pkt) in fx.out {
             ctx.send(to, pkt);
         }
+        for (delay, token) in fx.timers {
+            ctx.set_timer(delay, token);
+        }
     }
 }
 
@@ -133,7 +143,13 @@ impl<P: TribePayload> Protocol<RbcPacket<P>> for StandaloneNode<P> {
         self.apply(fx, ctx);
     }
 
-    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<RbcPacket<P>>) {}
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<RbcPacket<P>>) {
+        if let Some((round, source)) = crate::engine::parse_retry_token(token) {
+            let mut fx = Effects::at(ctx.now());
+            self.engine.on_retry(round, source, &mut fx);
+            self.apply(fx, ctx);
+        }
+    }
 }
 
 /// Byzantine sender behaviours for exercising the engines.
@@ -276,6 +292,9 @@ impl<P: TribePayload> Protocol<RbcPacket<P>> for ByzantineNode<P> {
 
 /// Either an honest standalone node or a Byzantine one — the homogeneous
 /// node type handed to the simulator.
+// One value per simulated party; the variant size gap is irrelevant here
+// and boxing would cost an indirection on every message.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyNode<P: TribePayload> {
     /// Honest participant.
     Honest(StandaloneNode<P>),

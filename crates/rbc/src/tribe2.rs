@@ -55,6 +55,7 @@ impl<P: TribePayload> TribeRbc2<P> {
     /// `r_bcast`: disseminates `payload` as this party's broadcast for
     /// `round`.
     pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
+        self.core.note_round(round);
         let me = self.core.cfg.me;
         let topo = self.core.cfg.topology.clone();
         let clan = topo.clan_for_sender(me);
@@ -82,12 +83,17 @@ impl<P: TribePayload> TribeRbc2<P> {
     /// Handles one received packet.
     pub fn handle(&mut self, from: PartyId, packet: RbcPacket<P>, fx: &mut Effects<P>) {
         let RbcPacket { source, round, msg } = packet;
+        // Bounded buffering: stale (below prune horizon) and far-future
+        // rounds are rejected before any state is allocated.
+        if !self.core.admit(round) {
+            return;
+        }
         match msg {
             RbcMsg::Val(payload) => {
                 if from != source {
                     return;
                 }
-                if let Some(d) = self.core.accept_payload(round, source, payload, fx) {
+                if let Some(d) = self.core.accept_payload(round, source, payload, true, fx) {
                     self.maybe_echo(round, source, d, fx);
                 }
                 self.core.deliver_if_ready(round, source, fx);
@@ -101,7 +107,7 @@ impl<P: TribePayload> TribeRbc2<P> {
                 // makes f_c+1 clan echoes imply retrievability).
                 let me = self.core.cfg.me;
                 let full_receiver = self.core.cfg.topology.receives_full(me, source);
-                if let Some(d) = self.core.accept_meta(round, source, meta) {
+                if let Some(d) = self.core.accept_meta(round, source, meta, true, fx) {
                     if !full_receiver {
                         self.maybe_echo(round, source, d, fx);
                     }
@@ -116,7 +122,8 @@ impl<P: TribePayload> TribeRbc2<P> {
                 // Aggregate without upfront verification (paper §7).
                 fx.charge(self.core.cfg.cost.aggregate(1));
                 if let Some((total, clan)) =
-                    self.core.note_echo(round, source, from, digest, Some(sig))
+                    self.core
+                        .note_echo(round, source, from, digest, Some(sig), fx)
                 {
                     if self.core.echo_threshold_met(source, total, clan) {
                         self.form_and_send_cert(round, source, digest, fx);
@@ -166,6 +173,23 @@ impl<P: TribePayload> TribeRbc2<P> {
     /// True iff this party has delivered for `(round, source)`.
     pub fn delivered(&mut self, round: Round, source: PartyId) -> bool {
         self.core.instance(round, source).delivered
+    }
+
+    /// Widens the bounded-buffer admission window: the consensus layer
+    /// calls this when it legitimately advances into `round`.
+    pub fn note_round(&mut self, round: Round) {
+        self.core.note_round(round);
+    }
+
+    /// Drains the Byzantine evidence recorded so far.
+    pub fn take_evidence(&mut self) -> Vec<clanbft_types::Evidence> {
+        self.core.take_evidence()
+    }
+
+    /// Pull-retry deadline for `(round, source)` expired (see
+    /// [`crate::engine::parse_retry_token`]).
+    pub fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        self.core.on_retry(round, source, fx);
     }
 
     fn maybe_echo(&mut self, round: Round, source: PartyId, digest: Digest, fx: &mut Effects<P>) {
@@ -270,11 +294,28 @@ impl<P: TribePayload> TribeRbc2<P> {
         } else {
             Vec::new()
         };
+        if !culprits.is_empty() {
+            // Each pruned contribution is an invalid signature from a
+            // known signer index.
+            self.core.cfg.telemetry.add(
+                clanbft_telemetry::counters::REJECTED_BAD_SIG,
+                culprits.len() as u64,
+            );
+        }
         let good_total = cert.signers.count_matching(|i| !culprits.contains(&i));
         let good_clan = cert
             .signers
             .count_matching(|i| !culprits.contains(&i) && clan.contains(PartyId(i as u32)));
-        good_total >= quorum && good_clan >= clan.clan_quorum
+        let ok = good_total >= quorum && good_clan >= clan.clan_quorum;
+        if !ok && culprits.is_empty() {
+            // A cert that fails thresholds without identifiable culprits is
+            // simply malformed — still counted, never silent.
+            self.core
+                .cfg
+                .telemetry
+                .add(clanbft_telemetry::counters::REJECTED_BAD_SIG, 1);
+        }
+        ok
     }
 
     /// Forwards a valid certificate once (required for agreement when the

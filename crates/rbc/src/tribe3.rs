@@ -35,6 +35,7 @@ impl<P: TribePayload> TribeRbc3<P> {
     /// `round`. Full payload goes to the sender's clan (including the
     /// sender itself, via loopback), the meta view to everyone else.
     pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
+        self.core.note_round(round);
         let me = self.core.cfg.me;
         let topo = self.core.cfg.topology.clone();
         let clan = topo.clan_for_sender(me);
@@ -61,13 +62,18 @@ impl<P: TribePayload> TribeRbc3<P> {
     /// Handles one received packet.
     pub fn handle(&mut self, from: PartyId, packet: RbcPacket<P>, fx: &mut Effects<P>) {
         let RbcPacket { source, round, msg } = packet;
+        // Bounded buffering: stale (below prune horizon) and far-future
+        // rounds are rejected before any state is allocated.
+        if !self.core.admit(round) {
+            return;
+        }
         match msg {
             RbcMsg::Val(payload) => {
                 // Only the designated sender pushes VAL.
                 if from != source {
                     return;
                 }
-                if let Some(d) = self.core.accept_payload(round, source, payload, fx) {
+                if let Some(d) = self.core.accept_payload(round, source, payload, true, fx) {
                     self.maybe_echo(round, source, d, fx);
                 }
                 self.core.deliver_if_ready(round, source, fx);
@@ -81,7 +87,7 @@ impl<P: TribePayload> TribeRbc3<P> {
                 // makes f_c+1 clan echoes imply retrievability).
                 let me = self.core.cfg.me;
                 let full_receiver = self.core.cfg.topology.receives_full(me, source);
-                if let Some(d) = self.core.accept_meta(round, source, meta) {
+                if let Some(d) = self.core.accept_meta(round, source, meta, true, fx) {
                     if !full_receiver {
                         self.maybe_echo(round, source, d, fx);
                     }
@@ -89,7 +95,8 @@ impl<P: TribePayload> TribeRbc3<P> {
                 self.core.deliver_if_ready(round, source, fx);
             }
             RbcMsg::Echo { digest, .. } => {
-                if let Some((total, clan)) = self.core.note_echo(round, source, from, digest, None)
+                if let Some((total, clan)) =
+                    self.core.note_echo(round, source, from, digest, None, fx)
                 {
                     if self.core.echo_threshold_met(source, total, clan) {
                         self.core.on_echo_quorum(round, source, digest, fx);
@@ -101,10 +108,20 @@ impl<P: TribePayload> TribeRbc3<P> {
                 let n = self.core.cfg.n();
                 let quorum = self.core.cfg.quorum();
                 let small = self.core.cfg.small_quorum();
+                let tel = self.core.cfg.telemetry.clone();
                 let count = {
                     let inst = self.core.instance(round, source);
+                    // Same distinct-digest cap as echoes: a Byzantine peer
+                    // cannot allocate unbounded per-digest ready sets.
+                    if !inst.readies.contains_key(&digest)
+                        && inst.readies.len() >= crate::engine::MAX_DIGESTS_PER_INSTANCE
+                    {
+                        tel.add(clanbft_telemetry::counters::REJECTED_BUFFER_FULL, 1);
+                        return;
+                    }
                     let set = inst.ready_set(n, digest);
                     if !set.all.set(from.idx()) {
+                        tel.add(clanbft_telemetry::counters::REJECTED_DUPLICATE, 1);
                         return;
                     }
                     set.all.count()
@@ -149,6 +166,23 @@ impl<P: TribePayload> TribeRbc3<P> {
     /// True iff this party has delivered for `(round, source)`.
     pub fn delivered(&mut self, round: Round, source: PartyId) -> bool {
         self.core.instance(round, source).delivered
+    }
+
+    /// Widens the bounded-buffer admission window: the consensus layer
+    /// calls this when it legitimately advances into `round`.
+    pub fn note_round(&mut self, round: Round) {
+        self.core.note_round(round);
+    }
+
+    /// Drains the Byzantine evidence recorded so far.
+    pub fn take_evidence(&mut self) -> Vec<clanbft_types::Evidence> {
+        self.core.take_evidence()
+    }
+
+    /// Pull-retry deadline for `(round, source)` expired (see
+    /// [`crate::engine::parse_retry_token`]).
+    pub fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        self.core.on_retry(round, source, fx);
     }
 
     fn maybe_echo(&mut self, round: Round, source: PartyId, digest: Digest, fx: &mut Effects<P>) {

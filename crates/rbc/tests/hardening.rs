@@ -1,0 +1,347 @@
+//! Honest-path hardening regressions: pull-service rate limiting, bounded
+//! buffers (round window + per-instance digest cap), and the pull
+//! retry/backoff/rotation machinery — each driven deterministically against
+//! a bare [`TribeRbc2`], plus one simulator run pinning the recovery-time
+//! bound under a withholding sender.
+
+use clanbft_crypto::Digest;
+use clanbft_crypto::{Authenticator, Registry, Scheme, Signature};
+use clanbft_rbc::standalone::{AnyNode, ByzantineNode, ByzantineSender, Delivery, StandaloneNode};
+use clanbft_rbc::{
+    echo_statement, parse_retry_token, BytesPayload, ClanTopology, Effects, EngineConfig, RbcEvent,
+    RbcMsg, RbcPacket, TribePayload, TribeRbc2, MAX_DIGESTS_PER_INSTANCE, MAX_PULL_ATTEMPTS,
+};
+use clanbft_simnet::cost::CostModel;
+use clanbft_simnet::net::{SimConfig, Simulator};
+use clanbft_telemetry::{counters, MemRecorder, Telemetry};
+use clanbft_types::{Micros, PartyId, Round, TribeParams};
+use std::sync::Arc;
+
+const PULL_RETRY: Micros = Micros(400_000);
+
+struct Rig {
+    engine: TribeRbc2<BytesPayload>,
+    auths: Vec<Arc<Authenticator>>,
+    rec: Arc<MemRecorder>,
+}
+
+fn rig(n: usize, me: u32) -> Rig {
+    let topology = Arc::new(ClanTopology::whole_tribe(TribeParams::new(n)));
+    let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 13);
+    let auths: Vec<Arc<Authenticator>> = keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| Arc::new(Authenticator::new(i, kp, Arc::clone(&registry))))
+        .collect();
+    let (telemetry, rec) = Telemetry::mem();
+    let mut cfg = EngineConfig::new(PartyId(me), topology, CostModel::free());
+    cfg.telemetry = telemetry;
+    cfg.pull_retry = PULL_RETRY;
+    let engine = TribeRbc2::new(cfg, Arc::clone(&auths[me as usize]));
+    Rig { engine, auths, rec }
+}
+
+fn packet(source: u32, round: u64, msg: RbcMsg<BytesPayload>) -> RbcPacket<BytesPayload> {
+    RbcPacket {
+        source: PartyId(source),
+        round: Round(round),
+        msg,
+    }
+}
+
+fn payload() -> BytesPayload {
+    BytesPayload::new(vec![0x42; 512])
+}
+
+fn handle(rig: &mut Rig, from: u32, pkt: RbcPacket<BytesPayload>) -> Effects<BytesPayload> {
+    let mut fx = Effects::at(Micros(1));
+    rig.engine.handle(PartyId(from), pkt, &mut fx);
+    fx
+}
+
+/// Builds and feeds a correctly signed echo from `signer`.
+fn feed_echo(rig: &mut Rig, signer: u32, source: u32, round: u64) -> Effects<BytesPayload> {
+    let digest = TribePayload::rbc_digest(&payload());
+    let statement = echo_statement(PartyId(source), Round(round), &digest);
+    let sig = rig.auths[signer as usize].sign_digest(&statement);
+    handle(
+        rig,
+        signer,
+        packet(
+            source,
+            round,
+            RbcMsg::Echo {
+                digest,
+                sig: Some(Arc::new(sig)),
+            },
+        ),
+    )
+}
+
+fn pull_targets(fx: &Effects<BytesPayload>) -> Vec<PartyId> {
+    fx.out
+        .iter()
+        .filter(|(_, p)| matches!(p.msg, RbcMsg::Pull { .. }))
+        .map(|(to, _)| *to)
+        .collect()
+}
+
+#[test]
+fn pull_spam_gets_at_most_one_response() {
+    // The broadcaster holds payload and meta; a spamming peer repeats the
+    // same pull five times and gets exactly one response of each kind.
+    let mut r = rig(4, 0);
+    handle(&mut r, 0, packet(0, 1, RbcMsg::Val(payload())));
+    let digest = TribePayload::rbc_digest(&payload());
+
+    let mut responses = 0;
+    for _ in 0..5 {
+        let fx = handle(&mut r, 2, packet(0, 1, RbcMsg::Pull { digest }));
+        responses += fx
+            .out
+            .iter()
+            .filter(|(_, p)| matches!(p.msg, RbcMsg::PullResp(_)))
+            .count();
+    }
+    assert_eq!(responses, 1, "pull spam must be served exactly once");
+
+    // `PullMeta` is rate-limited by the same per-peer mechanism.
+    let mut meta_responses = 0;
+    for _ in 0..5 {
+        let fx = handle(&mut r, 3, packet(0, 1, RbcMsg::PullMeta { digest }));
+        meta_responses += fx
+            .out
+            .iter()
+            .filter(|(_, p)| matches!(p.msg, RbcMsg::MetaResp(_)))
+            .count();
+    }
+    assert_eq!(
+        meta_responses, 1,
+        "meta-pull spam must be served exactly once"
+    );
+    assert!(
+        r.rec.counter(counters::REJECTED_DUPLICATE) >= 8,
+        "spammed pulls must be counted, not silent"
+    );
+}
+
+#[test]
+fn retry_backs_off_rotates_and_stops_after_delivery() {
+    // Party 3 certifies via echoes from 0, 1, 2 without ever holding the
+    // payload: the engine pulls from `clan_quorum` echoers and arms a
+    // deadline. Every expiry rotates to peers not yet asked and doubles the
+    // backoff; a served response kills the chain.
+    let mut r = rig(4, 3);
+    feed_echo(&mut r, 0, 0, 1);
+    feed_echo(&mut r, 1, 0, 1);
+    let fx = feed_echo(&mut r, 2, 0, 1);
+    assert!(fx
+        .events
+        .iter()
+        .any(|e| matches!(e, RbcEvent::Certified { .. })));
+    let first_targets = pull_targets(&fx);
+    assert_eq!(first_targets.len(), 2, "pulls go to clan_quorum echoers");
+    let (delay0, token) = fx.timers[0];
+    assert_eq!(
+        delay0, PULL_RETRY,
+        "initial deadline is the configured base"
+    );
+    assert_eq!(parse_retry_token(token), Some((Round(1), PartyId(0))));
+
+    // Deadline expires unanswered: rotate to the one echoer not yet asked,
+    // with a doubled deadline.
+    let mut fx1 = Effects::at(PULL_RETRY);
+    r.engine.on_retry(Round(1), PartyId(0), &mut fx1);
+    assert_eq!(r.rec.counter(counters::PULL_RETRIES), 1);
+    let second_targets = pull_targets(&fx1);
+    assert!(!second_targets.is_empty(), "retry must re-send pulls");
+    for t in &second_targets {
+        assert!(
+            !first_targets.contains(t),
+            "retry must rotate to peers not yet asked"
+        );
+    }
+    assert_eq!(
+        fx1.timers[0].0,
+        Micros(PULL_RETRY.0 << 1),
+        "backoff doubles"
+    );
+
+    // Second expiry: everyone was asked, so the slate clears and the
+    // backoff keeps growing.
+    let mut fx2 = Effects::at(Micros(PULL_RETRY.0 * 3));
+    r.engine.on_retry(Round(1), PartyId(0), &mut fx2);
+    assert_eq!(r.rec.counter(counters::PULL_RETRIES), 2);
+    assert!(!pull_targets(&fx2).is_empty());
+    assert_eq!(fx2.timers[0].0, Micros(PULL_RETRY.0 << 2));
+
+    // A response lands: delivery happens and the next expiry is inert.
+    let fxr = handle(&mut r, 1, packet(0, 1, RbcMsg::PullResp(payload())));
+    assert!(fxr
+        .events
+        .iter()
+        .any(|e| matches!(e, RbcEvent::DeliverFull { .. })));
+    let mut fx3 = Effects::at(Micros(PULL_RETRY.0 * 8));
+    r.engine.on_retry(Round(1), PartyId(0), &mut fx3);
+    assert!(fx3.out.is_empty(), "retry chain must die after delivery");
+    assert!(
+        fx3.timers.is_empty(),
+        "timer must not re-arm after delivery"
+    );
+    assert_eq!(r.rec.counter(counters::PULL_RETRIES), 2);
+}
+
+#[test]
+fn retry_chain_is_bounded() {
+    // With nobody ever answering, the chain stops at MAX_PULL_ATTEMPTS.
+    let mut r = rig(4, 3);
+    feed_echo(&mut r, 0, 0, 1);
+    feed_echo(&mut r, 1, 0, 1);
+    feed_echo(&mut r, 2, 0, 1);
+    for _ in 0..MAX_PULL_ATTEMPTS {
+        let mut fx = Effects::at(Micros(1));
+        r.engine.on_retry(Round(1), PartyId(0), &mut fx);
+        assert!(!fx.timers.is_empty(), "chain re-arms below the cap");
+    }
+    assert_eq!(
+        r.rec.counter(counters::PULL_RETRIES),
+        MAX_PULL_ATTEMPTS as u64
+    );
+    let mut fx = Effects::at(Micros(1));
+    r.engine.on_retry(Round(1), PartyId(0), &mut fx);
+    assert!(
+        fx.out.is_empty() && fx.timers.is_empty(),
+        "cap not enforced"
+    );
+    assert_eq!(
+        r.rec.counter(counters::PULL_RETRIES),
+        MAX_PULL_ATTEMPTS as u64,
+        "attempts beyond the cap must not count as retries"
+    );
+}
+
+#[test]
+fn far_future_and_stale_rounds_are_rejected() {
+    let mut r = rig(4, 1);
+    // Far beyond the admission window: rejected before any state exists.
+    let fx = handle(&mut r, 0, packet(0, 300, RbcMsg::Val(payload())));
+    assert!(fx.out.is_empty(), "far-future VAL must not be processed");
+    assert_eq!(r.rec.counter(counters::REJECTED_BUFFER_FULL), 1);
+
+    // Once consensus legitimately advances, the same round is admitted.
+    r.engine.note_round(Round(100));
+    let fx = handle(&mut r, 0, packet(0, 300, RbcMsg::Val(payload())));
+    assert!(!fx.out.is_empty(), "admitted VAL must trigger an echo");
+
+    // Stale: below the prune horizon, replays cannot resurrect instances.
+    r.engine.prune_below(Round(50));
+    let fx = handle(&mut r, 0, packet(0, 49, RbcMsg::Val(payload())));
+    assert!(fx.out.is_empty(), "stale VAL must not be processed");
+    assert_eq!(r.rec.counter(counters::REJECTED_BUFFER_FULL), 2);
+}
+
+#[test]
+fn per_instance_digest_tracking_is_capped() {
+    // An attacker echoing a fresh digest per message cannot grow one
+    // instance without bound: beyond MAX_DIGESTS_PER_INSTANCE the echoes
+    // are dropped and counted, and the divergence is recorded once.
+    let mut r = rig(4, 1);
+    let junk = || Some(Arc::new(Signature([9u8; 64])));
+    for i in 0..(MAX_DIGESTS_PER_INSTANCE as u8 + 3) {
+        let digest = Digest::of(&[i]);
+        handle(
+            &mut r,
+            2,
+            packet(
+                0,
+                1,
+                RbcMsg::Echo {
+                    digest,
+                    sig: junk(),
+                },
+            ),
+        );
+    }
+    assert_eq!(
+        r.rec.counter(counters::REJECTED_BUFFER_FULL),
+        3,
+        "digests beyond the cap must be rejected"
+    );
+    let ev = r.engine.take_evidence();
+    assert_eq!(ev.len(), 1, "echo divergence is evidence, recorded once");
+    assert_eq!(ev[0].culprit(), PartyId(0), "attributed to the source");
+}
+
+#[test]
+fn withheld_meta_delivers_within_one_retry_deadline_of_certification() {
+    // A Byzantine sender deprives one non-clan party of its meta view. The
+    // victim learns the certificate from the clan, pulls the meta, and must
+    // deliver within one pull-retry deadline of certifying.
+    let n = 10;
+    let clan: Vec<u32> = vec![0, 2, 4, 6, 8];
+    let victim = PartyId(1);
+    let topology = Arc::new(ClanTopology::single_clan(
+        TribeParams::new(n),
+        clan.iter().map(|&i| PartyId(i)).collect(),
+    ));
+    let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, 7);
+    let auths: Vec<Arc<Authenticator>> = keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| Arc::new(Authenticator::new(i, kp, Arc::clone(&registry))))
+        .collect();
+    let payload = BytesPayload::new(vec![0xcd; 2048]);
+    let nodes: Vec<AnyNode<BytesPayload>> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                AnyNode::Byzantine(ByzantineNode {
+                    me: PartyId(0),
+                    topology: Arc::clone(&topology),
+                    behaviour: ByzantineSender::DepriveMeta {
+                        payload: payload.clone(),
+                        deprived: vec![victim],
+                        round: Round(1),
+                    },
+                })
+            } else {
+                let mut ecfg =
+                    EngineConfig::new(PartyId(i as u32), Arc::clone(&topology), CostModel::free());
+                ecfg.pull_retry = PULL_RETRY;
+                AnyNode::Honest(StandaloneNode::two(ecfg, Arc::clone(&auths[i])))
+            }
+        })
+        .collect();
+    let mut cfg = SimConfig::benign(n, 7);
+    cfg.cost = CostModel::free();
+    cfg.jitter_frac = 0.0;
+    let mut sim = Simulator::new(cfg, nodes);
+    sim.run_until(Micros::from_secs(30));
+
+    let node = match sim.node(victim) {
+        AnyNode::Honest(h) => h,
+        AnyNode::Byzantine(_) => unreachable!(),
+    };
+    let certified_at = node
+        .certified
+        .iter()
+        .find(|(s, r, _)| *s == PartyId(0) && *r == Round(1))
+        .map(|(_, _, t)| *t)
+        .expect("victim never certified the withheld broadcast");
+    let delivered_at = node
+        .deliveries
+        .iter()
+        .find_map(|d| match d {
+            Delivery::Meta(s, r, m, t) if *s == PartyId(0) && *r == Round(1) => {
+                assert_eq!(m.0, TribePayload::rbc_digest(&payload));
+                Some(*t)
+            }
+            _ => None,
+        })
+        .expect("victim never recovered the withheld meta view");
+    let lag = delivered_at.saturating_sub(certified_at);
+    assert!(
+        lag <= PULL_RETRY,
+        "withheld meta took {lag:?} (> one retry deadline {PULL_RETRY:?}) \
+         after certification"
+    );
+}

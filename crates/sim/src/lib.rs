@@ -15,4 +15,4 @@ pub mod tribe;
 
 pub use experiment::{ExperimentSpec, Proto};
 pub use metrics::{collect_metrics, RunMetrics};
-pub use tribe::{build_tribe, BuiltTribe, TribeSpec};
+pub use tribe::{build_tribe, BuiltTribe, TribeNode, TribeSpec};

@@ -8,7 +8,8 @@
 //! Measurement excludes a warm-up and cool-down window of rounds so that
 //! start-up transients and the truncated tail do not distort steady state.
 
-use clanbft_consensus::{ConsensusMsg, SailfishNode};
+use crate::tribe::TribeNode;
+use clanbft_consensus::ConsensusMsg;
 use clanbft_simnet::net::Simulator;
 use clanbft_types::{Micros, PartyId, Round, VertexRef};
 use std::collections::HashMap;
@@ -55,7 +56,7 @@ impl RunMetrics {
 /// `warmup_rounds` vertices are skipped at the front; vertices above
 /// `last_round` (usually `max_round − cooldown`) are skipped at the back.
 pub fn collect_metrics(
-    sim: &Simulator<ConsensusMsg, SailfishNode>,
+    sim: &Simulator<ConsensusMsg, TribeNode>,
     honest: &[PartyId],
     warmup_rounds: u64,
     last_round: u64,

@@ -1,6 +1,7 @@
 //! Building a runnable tribe: topology, keys, placement, fan-out degrees,
 //! workload assignment and fault injection.
 
+use clanbft_adversary::{AdversaryNode, Attack};
 use clanbft_committee::ClanAssignment;
 use clanbft_consensus::{ConsensusMsg, NodeConfig, SailfishNode};
 use clanbft_crypto::{Authenticator, Registry, Scheme};
@@ -37,6 +38,10 @@ pub struct TribeSpec {
     pub bandwidth: BandwidthModel,
     /// Crash faults: `(party, time)`.
     pub crashes: Vec<(PartyId, Micros)>,
+    /// Byzantine faults: each listed party runs the honest node wrapped in
+    /// the given [`Attack`] behaviour. Keep the count within `f` for the
+    /// tribe (and within `f_c` per clan) or agreement guarantees lapse.
+    pub byzantine: Vec<(PartyId, Attack)>,
     /// Temporary link cuts.
     pub partitions: Vec<Partition>,
     /// Global stabilization time (0 = synchronous from the start).
@@ -68,6 +73,7 @@ impl TribeSpec {
             cost: CostModel::default(),
             bandwidth: BandwidthModel::default(),
             crashes: Vec::new(),
+            byzantine: Vec::new(),
             partitions: Vec::new(),
             gst: Micros::ZERO,
             pre_gst_extra_max: Micros::ZERO,
@@ -79,13 +85,18 @@ impl TribeSpec {
     }
 }
 
+/// The node type the tribe harness runs: a Sailfish node behind the
+/// adversary interposer (a no-op for honest parties).
+pub type TribeNode = AdversaryNode<ConsensusMsg, SailfishNode>;
+
 /// A built, ready-to-run tribe.
 pub struct BuiltTribe {
     /// The simulator holding every node.
-    pub sim: Simulator<ConsensusMsg, SailfishNode>,
+    pub sim: Simulator<ConsensusMsg, TribeNode>,
     /// The clan topology used.
     pub topology: Arc<ClanTopology>,
-    /// Parties that never crash (metrics are taken over these).
+    /// Parties that neither crash nor misbehave (metrics and agreement
+    /// assertions are taken over these).
     pub honest: Vec<PartyId>,
 }
 
@@ -160,7 +171,7 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
     sim_cfg.telemetry = spec.telemetry.clone();
 
     let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, spec.seed);
-    let nodes: Vec<SailfishNode> = keypairs
+    let nodes: Vec<TribeNode> = keypairs
         .into_iter()
         .enumerate()
         .map(|(i, kp)| {
@@ -181,13 +192,18 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.verify_sigs = spec.verify_sigs;
             cfg.execute = spec.execute;
             cfg.telemetry = spec.telemetry.clone();
-            SailfishNode::new(cfg, auth)
+            let inner = SailfishNode::new(cfg, auth);
+            match spec.byzantine.iter().find(|(p, _)| *p == me) {
+                Some((_, attack)) => AdversaryNode::byzantine(inner, attack.instantiate()),
+                None => AdversaryNode::honest(inner),
+            }
         })
         .collect();
 
     let honest = (0..n as u32)
         .map(PartyId)
         .filter(|p| !spec.crashes.iter().any(|(c, _)| c == p))
+        .filter(|p| !spec.byzantine.iter().any(|(b, _)| b == p))
         .collect();
 
     BuiltTribe {

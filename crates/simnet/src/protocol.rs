@@ -109,6 +109,20 @@ impl<'a, M: Message> Ctx<'a, M> {
     pub fn set_timer(&mut self, delay: Micros, token: u64) {
         self.timers.push((delay, token));
     }
+
+    /// Drains the queued `(destination, message)` pairs.
+    ///
+    /// For interposers (the adversary harness) that run an inner node
+    /// against a scratch context and then decide per message whether to
+    /// forward, transform or drop it before re-queueing on the real one.
+    pub fn take_outbox(&mut self) -> Vec<(PartyId, M)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the queued `(delay, token)` timers (see [`Ctx::take_outbox`]).
+    pub fn take_timers(&mut self) -> Vec<(Micros, u64)> {
+        std::mem::take(&mut self.timers)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,41 @@
+//! Canonical names for the rejection / hardening counters.
+//!
+//! The honest path never silently drops a message any more: every rejection
+//! lands in exactly one of these counters, so adversarial tests can assert
+//! that an attack actually fired and benign runs can assert the
+//! attack-indicating ones stay at zero. Names are constants (not inline
+//! literals) so call sites across rbc/consensus and assertions in tests
+//! cannot drift apart.
+
+/// A signature failed verification: a bad leader-vote or timeout signature,
+/// or an echo signature pruned as a culprit out of an aggregate echo
+/// certificate. Zero in benign runs with `verify_sigs` on.
+pub const REJECTED_BAD_SIG: &str = "rejected.bad_sig";
+
+/// A same-sender repeat carrying no new information: duplicate echo, ready,
+/// vote or timeout from one party, a re-sent identical VAL, or a repeated
+/// pull that was already served. May tick under benign replay-free runs
+/// only through simulator redundancy races (see `examples/trace_summary`).
+pub const REJECTED_DUPLICATE: &str = "rejected.duplicate";
+
+/// A conflicting statement from one party: second distinct digest behind a
+/// VAL/echo instance, or a conflicting leader vote. Always accompanied by a
+/// recorded `Evidence`. Zero in benign runs.
+pub const REJECTED_EQUIVOCATION: &str = "rejected.equivocation";
+
+/// A message fell outside the bounded buffering window: round above the
+/// admission horizon + window, round below the GC/prune horizon, or an
+/// instance already tracking the per-instance digest cap. Zero in benign
+/// runs sized within the window.
+pub const REJECTED_BUFFER_FULL: &str = "rejected.buffer_full";
+
+/// A payload failed structural validation (digest/proposer/round binding).
+/// Zero in benign runs.
+pub const REJECTED_BAD_PAYLOAD: &str = "rejected.bad_payload";
+
+/// A pull deadline expired and the request was re-sent to rotated peers.
+/// Can tick benignly on slow bulk links; not an attack indicator by itself.
+pub const PULL_RETRIES: &str = "pull.retries";
+
+/// Total `Evidence` records accumulated (deduplicated per culprit/round).
+pub const EVIDENCE_RECORDED: &str = "evidence.recorded";

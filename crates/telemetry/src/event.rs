@@ -122,6 +122,17 @@ pub enum Event {
         /// When the cut heals.
         until: Micros,
     },
+    /// Byzantine evidence recorded at this party (see
+    /// `clanbft_types::Evidence` — carried here by its stable label to keep
+    /// the event log digest-free).
+    EvidenceRecorded {
+        /// `Evidence::kind()` label.
+        kind: &'static str,
+        /// Round the conflict occurred in.
+        round: Round,
+        /// The party the evidence points at.
+        culprit: PartyId,
+    },
     /// Straw-man: a proof of availability completed (`f_c+1` acks).
     PoaFormed {
         /// Owner-local block sequence number.
@@ -150,6 +161,7 @@ impl Event {
             Event::VertexCommitted { .. } => "vertex_committed",
             Event::MsgDropped { .. } => "msg_dropped",
             Event::PartitionHeld { .. } => "partition_held",
+            Event::EvidenceRecorded { .. } => "evidence",
             Event::PoaFormed { .. } => "poa_formed",
             Event::SlotCommitted { .. } => "slot_committed",
         }
@@ -217,6 +229,14 @@ impl Stamped {
                 .u64("src", src.0 as u64)
                 .u64("dst", dst.0 as u64)
                 .u64("until", until.0),
+            Event::EvidenceRecorded {
+                kind,
+                round,
+                culprit,
+            } => base
+                .str("kind", kind)
+                .u64("round", round.0)
+                .u64("culprit", culprit.0 as u64),
             Event::PoaFormed { seq } => base.u64("seq", *seq),
             Event::SlotCommitted { slot, txs } => base.u64("slot", *slot).u64("txs", *txs),
         }

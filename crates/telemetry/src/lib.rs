@@ -11,6 +11,8 @@
 //!   (named counters, gauges, log-bucketed histograms, and the full event
 //!   log). The cloneable [`Telemetry`] handle is what gets threaded through
 //!   consensus, the RBC engines and the simulator.
+//! * [`counters`] — canonical names for the rejection/hardening counters
+//!   (`rejected.*`, `pull.retries`) shared by rbc, consensus and tests.
 //! * [`event`] — the typed protocol event log: every event is stamped with
 //!   sim-time [`Micros`] and the observing [`PartyId`].
 //! * [`hist`] — power-of-two log-bucketed [`Histogram`] with p50/p90/p99
@@ -25,6 +27,7 @@
 //! [`Micros`]: clanbft_types::Micros
 //! [`PartyId`]: clanbft_types::PartyId
 
+pub mod counters;
 pub mod event;
 pub mod hist;
 pub mod ndjson;

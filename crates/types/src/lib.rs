@@ -10,10 +10,13 @@
 //! * [`vertex`] — the DAG vertex (paper Fig. 4): round, source, block
 //!   digest, strong/weak edges, optional no-vote and timeout certificates.
 //! * [`certs`] — timeout and no-vote certificates.
+//! * [`evidence`] — typed records of detected Byzantine conflicts
+//!   (equivocating broadcasts, double votes).
 
 pub mod block;
 pub mod certs;
 pub mod codec;
+pub mod evidence;
 pub mod ids;
 pub mod time;
 pub mod transaction;
@@ -22,6 +25,7 @@ pub mod vertex;
 pub use block::Block;
 pub use certs::{NoVoteCert, TimeoutCert};
 pub use codec::{Decode, DecodeError, Encode, Reader, Writer};
+pub use evidence::Evidence;
 pub use ids::{ClanId, PartyId, Round, TribeParams};
 pub use time::Micros;
 pub use transaction::{TxBatch, TxId};

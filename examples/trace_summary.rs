@@ -14,13 +14,16 @@
 //!
 //! 1. per party, committed sequence numbers and commit stamps are monotone;
 //! 2. per party, entered rounds are strictly increasing;
-//! 3. per committed vertex, propose ≤ certify ≤ commit in simulated time.
+//! 3. per committed vertex, propose ≤ certify ≤ commit in simulated time;
+//! 4. the robustness counters (`rejected.*`, `pull.retries`,
+//!    `evidence.recorded`) are reported, and the attack-indicating ones are
+//!    zero on this benign run.
 //!
 //! Exits non-zero if any invariant fails, so `scripts/ci.sh` can run it as
 //! an end-to-end telemetry check.
 
 use clanbft_sim::{build_tribe, collect_metrics, tribe::elect_clan, TribeSpec};
-use clanbft_telemetry::{stage_breakdown, Event, RbcPhase, Telemetry};
+use clanbft_telemetry::{counters, stage_breakdown, Event, RbcPhase, Telemetry};
 use clanbft_types::{Micros, PartyId, Round};
 use std::collections::BTreeMap;
 
@@ -122,7 +125,38 @@ fn main() {
             checked += 1;
         }
     }
-    println!("invariant 3 ok: propose <= certify <= commit on {checked} commits\n");
+    println!("invariant 3 ok: propose <= certify <= commit on {checked} commits");
+
+    // --- invariant 4: robustness counters on a benign run -------------------
+    // Surface every rejection/recovery counter, then assert the ones that can
+    // only tick under attack are zero. `rejected.duplicate` and `pull.retries`
+    // may tick benignly (redundant broadcast copies, slow echoers), so they
+    // are reported but not constrained.
+    let report = [
+        counters::REJECTED_BAD_SIG,
+        counters::REJECTED_DUPLICATE,
+        counters::REJECTED_EQUIVOCATION,
+        counters::REJECTED_BUFFER_FULL,
+        counters::REJECTED_BAD_PAYLOAD,
+        counters::PULL_RETRIES,
+        counters::EVIDENCE_RECORDED,
+    ];
+    for name in report {
+        println!("counter {name} = {}", recorder.counter(name));
+    }
+    for name in [
+        counters::REJECTED_BAD_SIG,
+        counters::REJECTED_EQUIVOCATION,
+        counters::REJECTED_BAD_PAYLOAD,
+        counters::EVIDENCE_RECORDED,
+    ] {
+        assert_eq!(
+            recorder.counter(name),
+            0,
+            "benign run ticked attack-indicating counter {name}"
+        );
+    }
+    println!("invariant 4 ok: no attack-indicating counters on a benign run\n");
 
     // --- stage breakdown and run summary -----------------------------------
     let breakdown = stage_breakdown(&events);

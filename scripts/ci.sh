@@ -23,6 +23,16 @@ echo "== instrumented sim (trace invariants)"
 # non-zero on any violation.
 cargo run --release --offline -p clanbft-sim --example trace_summary > /dev/null
 
+echo "== adversarial matrix (agreement + liveness + detection under attack)"
+# Every Attack variant at the corruption threshold, plus the layer-level
+# idempotence/hardening regressions and the same-seed adversarial
+# determinism pin. Covered by the workspace test run above, but rerun
+# explicitly so an attack regression is named in the CI log.
+cargo test -q --offline -p clanbft-sim --test adversary
+cargo test -q --offline -p clanbft-rbc --test idempotence --test hardening
+cargo test -q --offline -p clanbft-consensus --test idempotence
+cargo test -q --offline -p clanbft-sim --test determinism
+
 echo "== dependency audit (manifests must declare no external crates)"
 if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then
     echo "external crate reference found in a manifest" >&2

@@ -91,6 +91,69 @@ fn same_seed_runs_emit_identical_event_streams() {
     );
 }
 
+/// One instrumented adversarial run: commit traces plus detection counters.
+fn run_adversarial(seed: u64) -> (Vec<CommitTrace>, Vec<(&'static str, u64)>) {
+    use clanbft_adversary::Attack;
+    let n = 7;
+    let (telemetry, recorder) = clanbft_telemetry::Telemetry::mem();
+    let mut spec = TribeSpec::new(n);
+    spec.max_round = Some(8);
+    spec.txs_per_proposal = 30;
+    spec.seed = seed;
+    spec.timeout = Micros::from_millis(1_200);
+    spec.byzantine = vec![
+        (PartyId(1), Attack::Equivocate),
+        (PartyId(4), Attack::Replay),
+    ];
+    spec.telemetry = telemetry;
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(300));
+    let traces = (0..n as u32)
+        .map(|p| {
+            built
+                .sim
+                .node(PartyId(p))
+                .committed_log
+                .iter()
+                .map(|c| {
+                    (
+                        c.sequence,
+                        c.vertex.round.0,
+                        c.vertex.source.0,
+                        c.block_digest.0,
+                        c.committed_at.0,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut counters = recorder.counters();
+    counters.sort();
+    (traces, counters)
+}
+
+#[test]
+fn same_seed_adversarial_runs_are_identical() {
+    // The attack behaviours (twin caching, replay windows, digest forgery)
+    // must be as deterministic as the honest path: same seed ⇒ identical
+    // commits AND identical detection counters, down to the exact tick
+    // counts. This pins the whole adversary harness against hidden
+    // nondeterminism.
+    let (commits_a, counters_a) = run_adversarial(42);
+    let (commits_b, counters_b) = run_adversarial(42);
+    let total: usize = commits_a.iter().map(Vec::len).sum();
+    assert!(total > 0, "adversarial run committed nothing");
+    assert_eq!(commits_a, commits_b, "commits diverged under attack");
+    assert_eq!(counters_a, counters_b, "detection counters diverged");
+    // The attack must actually have been detected, or the pin is vacuous.
+    let evidence = counters_a
+        .iter()
+        .find(|(k, _)| *k == "evidence.recorded")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(evidence >= 1, "no evidence recorded in the adversarial run");
+}
+
 #[test]
 fn different_seeds_change_the_run() {
     // Not a safety property — just a sanity check that the seed is actually
