@@ -334,14 +334,22 @@ impl SailfishNode {
                 count: batch.count,
             });
         }
-        self.cfg.telemetry.event(
-            fx.stamp(),
-            self.cfg.me,
-            Event::VertexProposed {
-                round,
-                tx_count: vertex.block_tx_count,
-            },
-        );
+        if self.cfg.telemetry.enabled() {
+            // Construction is guarded: the strong-edge Vec allocates.
+            self.cfg.telemetry.event(
+                fx.stamp(),
+                self.cfg.me,
+                Event::VertexProposed {
+                    round,
+                    tx_count: vertex.block_tx_count,
+                    digest: u64::from_be_bytes(
+                        vertex.block_digest.0[..8].try_into().expect("digest width"),
+                    ),
+                    strong: vertex.strong_edges.iter().map(|r| r.source).collect(),
+                    weak: vertex.weak_edges.len() as u64,
+                },
+            );
+        }
         let payload = MergedPayload::new(vertex, block);
         // Keep our own block regardless of clan membership (we produced it).
         self.blocks.insert(vref, Arc::clone(&payload.block));
@@ -401,8 +409,29 @@ impl SailfishNode {
 
         match self.dag.insert((*vertex).clone()) {
             InsertOutcome::Live(new_live) => {
+                if self.cfg.telemetry.enabled() {
+                    let pending = self.dag.pending_count() as u64;
+                    for live_ref in &new_live {
+                        self.cfg.telemetry.event(
+                            fx.stamp(),
+                            self.cfg.me,
+                            Event::DagLive {
+                                round: live_ref.round,
+                                source: live_ref.source,
+                                pending,
+                            },
+                        );
+                    }
+                }
                 for live_ref in new_live {
-                    if live_ref.round.next() < self.current_round {
+                    // Round entry and proposal are atomic (`try_advance`),
+                    // so every round <= current_round has already chosen
+                    // its strong edges: a vertex going live now missed the
+                    // proposal that could have referenced it whenever
+                    // `round.next() <= current_round`, not just `<`. Such
+                    // vertices must be weak-edged later or they are
+                    // orphaned from every causal history forever.
+                    if live_ref.round.next() <= self.current_round {
                         self.late_arrivals.insert(live_ref);
                     }
                     // A leader vertex becoming live may complete a pending
@@ -412,7 +441,17 @@ impl SailfishNode {
                     }
                 }
             }
-            InsertOutcome::Pending | InsertOutcome::Duplicate => {}
+            InsertOutcome::Pending => {
+                self.cfg.telemetry.event(
+                    fx.stamp(),
+                    self.cfg.me,
+                    Event::DagBuffered {
+                        round: vref.round,
+                        source: vref.source,
+                    },
+                );
+            }
+            InsertOutcome::Duplicate => {}
         }
     }
 
@@ -578,11 +617,32 @@ impl SailfishNode {
             self.cfg
                 .telemetry
                 .event(ctx.now(), self.cfg.me, Event::RoundEntered { round: next });
+            self.sample_gauges();
             let mut fx = Effects::at(ctx.now());
             self.propose(next, &mut fx, ctx.now());
             self.flush(fx, ctx);
             ctx.set_timer(self.cfg.timeout, next.0);
         }
+    }
+
+    /// Samples bounded-buffer occupancy into gauges, once per round entry.
+    /// The flight recorder logs these samples; a post-mortem correlates a
+    /// stall with whichever buffer was filling when it happened.
+    fn sample_gauges(&self) {
+        let tel = &self.cfg.telemetry;
+        if !tel.enabled() {
+            return;
+        }
+        let rbc = self.rbc.buffer_stats();
+        tel.gauge(counters::BUF_RBC_INSTANCES, rbc.instances);
+        tel.gauge(counters::BUF_RBC_ECHO_DIGESTS, rbc.echo_digests);
+        tel.gauge(counters::BUF_RBC_PENDING_PULLS, rbc.pending_pulls);
+        tel.gauge(counters::BUF_DAG_PENDING, self.dag.pending_count() as u64);
+        tel.gauge(counters::BUF_DAG_ROUNDS, self.dag.round_span() as u64);
+        tel.gauge(
+            counters::BUF_EVIDENCE_BACKLOG,
+            (self.evidence.len() as u64).saturating_add(rbc.evidence_backlog),
+        );
     }
 
     // --- effects plumbing -----------------------------------------------------

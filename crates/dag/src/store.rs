@@ -86,6 +86,17 @@ impl Dag {
         self.pending.len()
     }
 
+    /// Number of rounds currently retained (the round-window occupancy the
+    /// flight recorder samples: grows when commits stall GC).
+    pub fn round_span(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total live vertices retained across all rounds.
+    pub fn live_count(&self) -> usize {
+        self.rounds.values().map(HashMap::len).sum()
+    }
+
     /// Offers a delivered vertex. Returns which vertices became live (the
     /// offered one plus any pending descendants it unblocked), or whether it
     /// was buffered / a duplicate.

@@ -1,0 +1,39 @@
+//! Post-mortem analysis for clanbft NDJSON traces (zero external deps).
+//!
+//! The telemetry layer records *what happened*; this crate answers *why*.
+//! It consumes the merged multi-party trace a simulation exports (see
+//! `clanbft_sim::trace`) and turns it into verdicts:
+//!
+//! * [`parse`] — the hand-rolled NDJSON reader ([`parse_trace`]), tolerant
+//!   of unknown event labels, loud on corruption.
+//! * [`waterfall`] — per-block commit-latency waterfalls: which stage,
+//!   which party, how many δ ([`waterfall()`]).
+//! * [`health`] — per-round DAG health: missing strong edges, certificate
+//!   wait times, the slowest quorum member ([`health_report`]).
+//! * [`incident`] — evidence grouped into incidents and correlated with
+//!   the configured attack ([`incident_report`]).
+//! * [`dot`] — DOT / ASCII rendering of a round range of the DAG
+//!   ([`dot()`], [`ascii()`]).
+//! * [`diff`] — two-run comparison with per-stage regression ratios and a
+//!   verdict naming the dominant one ([`diff()`]).
+//! * [`check`] — the CI gate: sequence contiguity, agreement, stage
+//!   ordering, span completeness, evidence attribution ([`check()`]).
+//!
+//! The same library API backs the `clanbft-inspect` binary and the
+//! `trace_summary` example, so the invariant logic exists exactly once.
+
+pub mod check;
+pub mod diff;
+pub mod dot;
+pub mod health;
+pub mod incident;
+pub mod parse;
+pub mod waterfall;
+
+pub use check::{check, check_report, COMPLETENESS_MARGIN};
+pub use diff::{diff, profile, RunProfile};
+pub use dot::{ascii, dot, parse_round_range};
+pub use health::{health_report, round_health, RoundHealth};
+pub use incident::{incident_report, incidents, Incident};
+pub use parse::{parse_trace, RunMeta, Trace};
+pub use waterfall::{estimate_delta, waterfall};

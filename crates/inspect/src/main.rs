@@ -1,0 +1,114 @@
+//! `clanbft-inspect` — post-mortem analysis of clanbft NDJSON traces.
+//!
+//! ```text
+//! clanbft-inspect waterfall <trace>           commit-latency waterfall per block
+//! clanbft-inspect health    <trace>           per-round DAG health
+//! clanbft-inspect incidents <trace>           evidence grouped + attack correlation
+//! clanbft-inspect dot       <trace> [--rounds a..b]   Graphviz DAG rendering
+//! clanbft-inspect ascii     <trace> [--rounds a..b]   ASCII DAG rendering
+//! clanbft-inspect diff      <baseline> <candidate>    per-stage regression report
+//! clanbft-inspect check     <trace>           invariant gate (exit 1 on violation)
+//! ```
+//!
+//! `--check` is accepted as an alias for the `check` subcommand so the
+//! binary slots directly into shell pipelines. A trace path of `-` reads
+//! from stdin.
+
+use clanbft_inspect::{
+    ascii, check_report, diff, dot, health_report, incident_report, parse_round_range, parse_trace,
+    waterfall, Trace,
+};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: clanbft-inspect <waterfall|health|incidents|dot|ascii|check> <trace> \
+                     [--rounds a..b]\n       clanbft-inspect diff <baseline> <candidate>\n       \
+                     (a trace path of '-' reads stdin)";
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let trace = parse_trace(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if trace.skipped > 0 {
+        eprintln!(
+            "clanbft-inspect: note: skipped {} event(s) with unknown labels in {path}",
+            trace.skipped
+        );
+    }
+    Ok(trace)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let cmd = cmd.as_str();
+    let cmd = if cmd == "--check" { "check" } else { cmd };
+    match cmd {
+        "waterfall" | "health" | "incidents" | "check" => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let trace = load(path)?;
+            match cmd {
+                "waterfall" => print!("{}", waterfall(&trace)),
+                "health" => print!("{}", health_report(&trace)),
+                "incidents" => print!("{}", incident_report(&trace)),
+                _ => {
+                    let (report, ok) = check_report(&trace);
+                    print!("{report}");
+                    if !ok {
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "dot" | "ascii" => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let (from, to) = match args.get(2).map(String::as_str) {
+                Some("--rounds") => {
+                    let sel = args.get(3).ok_or("--rounds needs a selector (a..b)")?;
+                    parse_round_range(sel)?
+                }
+                Some(other) => return Err(format!("unknown option {other:?}\n{USAGE}")),
+                None => (None, None),
+            };
+            let trace = load(path)?;
+            if cmd == "dot" {
+                print!("{}", dot(&trace, from, to));
+            } else {
+                print!("{}", ascii(&trace, from, to));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let a = args.get(1).ok_or(USAGE)?;
+            let b = args.get(2).ok_or(USAGE)?;
+            if a == "-" && b == "-" {
+                return Err("diff can read at most one trace from stdin".to_string());
+            }
+            let ta = load(a)?;
+            let tb = load(b)?;
+            print!("{}", diff(&ta, &tb));
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("clanbft-inspect: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -412,6 +412,23 @@ impl EngineConfig {
     }
 }
 
+/// Live occupancy of the engine's bounded buffers, sampled into gauges by
+/// the node layer (flight-recorder food: these are the numbers that tell a
+/// post-mortem whether a stall was a full window, an echo-digest flood or
+/// a pull backlog).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// RBC instances currently tracked inside the round window.
+    pub instances: u64,
+    /// Distinct echo digests tracked across all instances (>1 per
+    /// instance only under equivocation).
+    pub echo_digests: u64,
+    /// Undelivered instances with an armed pull-retry chain.
+    pub pending_pulls: u64,
+    /// Evidence records accumulated and not yet drained by the node layer.
+    pub evidence_backlog: u64,
+}
+
 /// Common instance-level operations parameterized by topology and cost
 /// model. Both engines delegate here for VAL/meta custody, pulls and
 /// delivery.
@@ -462,6 +479,24 @@ impl<P: TribePayload> Core<P> {
     /// Drains the evidence accumulated so far.
     pub(crate) fn take_evidence(&mut self) -> Vec<Evidence> {
         std::mem::take(&mut self.evidence)
+    }
+
+    /// Live occupancy of the bounded buffers (see [`BufferStats`]).
+    pub(crate) fn buffer_stats(&self) -> BufferStats {
+        let mut echo_digests = 0u64;
+        let mut pending_pulls = 0u64;
+        for inst in self.instances.values() {
+            echo_digests += inst.echoes.len() as u64;
+            if inst.retry_armed && !inst.delivered {
+                pending_pulls += 1;
+            }
+        }
+        BufferStats {
+            instances: self.instances.len() as u64,
+            echo_digests,
+            pending_pulls,
+            evidence_backlog: self.evidence.len() as u64,
+        }
     }
 
     /// Counts + stores one evidence record (callers dedup per instance).
@@ -1144,6 +1179,15 @@ impl<P: TribePayload> Core<P> {
             targets = eligible.into_iter().take(want).collect();
         }
         tel.add(counters::PULL_RETRIES, 1);
+        tel.event(
+            fx.stamp(),
+            me,
+            Event::Rbc {
+                phase: RbcPhase::PullRetry,
+                round,
+                source,
+            },
+        );
         for t in targets {
             inst.asked.set(t.idx());
             let msg = if full_receiver {

@@ -179,6 +179,11 @@ impl<P: TribePayload> TribeRbc3<P> {
         self.core.take_evidence()
     }
 
+    /// Live occupancy of the bounded buffers (gauge-sampling food).
+    pub fn buffer_stats(&self) -> crate::engine::BufferStats {
+        self.core.buffer_stats()
+    }
+
     /// Pull-retry deadline for `(round, source)` expired (see
     /// [`crate::engine::parse_retry_token`]).
     pub fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {

@@ -11,8 +11,10 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod trace;
 pub mod tribe;
 
 pub use experiment::{ExperimentSpec, Proto};
 pub use metrics::{collect_metrics, RunMetrics};
+pub use trace::{export_trace, meta_line, write_trace};
 pub use tribe::{build_tribe, BuiltTribe, TribeNode, TribeSpec};

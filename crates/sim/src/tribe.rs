@@ -30,6 +30,9 @@ pub struct TribeSpec {
     pub max_round: Option<u64>,
     /// Round timeout.
     pub timeout: Micros,
+    /// Pull-retry deadline: how long an unanswered payload/meta pull waits
+    /// before rotating to the next peer (see the RBC pull sub-protocol).
+    pub pull_retry: Micros,
     /// RNG seed (keys, schedule, jitter).
     pub seed: u64,
     /// Host CPU cost model.
@@ -69,6 +72,7 @@ impl TribeSpec {
             tx_bytes: 512,
             max_round: Some(10),
             timeout: Micros::from_secs(5),
+            pull_retry: Micros::from_millis(500),
             seed: 7,
             cost: CostModel::default(),
             bandwidth: BandwidthModel::default(),
@@ -181,6 +185,7 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.schedule_seed = spec.seed;
             cfg.cost = spec.cost;
             cfg.timeout = spec.timeout;
+            cfg.pull_retry = spec.pull_retry;
             cfg.max_round = spec.max_round;
             cfg.txs_per_proposal = spec.txs_per_proposal;
             cfg.tx_bytes = spec.tx_bytes;

@@ -39,3 +39,33 @@ pub const PULL_RETRIES: &str = "pull.retries";
 
 /// Total `Evidence` records accumulated (deduplicated per culprit/round).
 pub const EVIDENCE_RECORDED: &str = "evidence.recorded";
+
+/// Events evicted from a bounded recorder (MemRecorder ring cap or the
+/// flight recorder's ring buffer). Non-zero means the retained event log is
+/// a suffix of the run, not the whole run.
+pub const EVENTS_DROPPED: &str = "events.dropped";
+
+// --- bounded-buffer occupancy gauges -------------------------------------
+//
+// Sampled by the consensus node once per round entry; the flight recorder
+// keeps a bounded log of these samples so a post-mortem can see whether a
+// stall coincided with a full window, an echo-digest flood, a pull backlog
+// or a growing evidence queue.
+
+/// RBC instances tracked inside the round window.
+pub const BUF_RBC_INSTANCES: &str = "buf.rbc.instances";
+
+/// Distinct echo digests tracked across RBC instances.
+pub const BUF_RBC_ECHO_DIGESTS: &str = "buf.rbc.echo_digests";
+
+/// Undelivered RBC instances with an armed pull-retry chain.
+pub const BUF_RBC_PENDING_PULLS: &str = "buf.rbc.pending_pulls";
+
+/// Vertices buffered by the DAG for missing causal parents.
+pub const BUF_DAG_PENDING: &str = "buf.dag.pending";
+
+/// Rounds retained by the DAG (round-window occupancy).
+pub const BUF_DAG_ROUNDS: &str = "buf.dag.rounds";
+
+/// Evidence records held at the node layer (capped backlog).
+pub const BUF_EVIDENCE_BACKLOG: &str = "buf.evidence.backlog";

@@ -27,6 +27,9 @@ pub enum RbcPhase {
     DeliverMeta,
     /// A payload/meta pull was started.
     PullStarted,
+    /// A pull deadline expired and the request was re-sent to rotated
+    /// peers (the recovery stage a withholding sender forces victims into).
+    PullRetry,
 }
 
 impl RbcPhase {
@@ -40,6 +43,7 @@ impl RbcPhase {
             RbcPhase::DeliverFull => "deliver_full",
             RbcPhase::DeliverMeta => "deliver_meta",
             RbcPhase::PullStarted => "pull_started",
+            RbcPhase::PullRetry => "pull_retry",
         }
     }
 }
@@ -58,6 +62,15 @@ pub enum Event {
         round: Round,
         /// Transactions in the proposed block.
         tx_count: u64,
+        /// First eight bytes of the block digest (big-endian), enough to
+        /// key the causal span and to tell equivocating twins apart while
+        /// keeping the event log compact.
+        digest: u64,
+        /// Sources of the previous-round vertices the proposal strong-edges
+        /// to (the DAG structure, reconstructible per round from the trace).
+        strong: Vec<PartyId>,
+        /// Number of weak edges (late arrivals swept in).
+        weak: u64,
     },
     /// A broadcast instance `(round, source)` reached `phase` at this party.
     Rbc {
@@ -133,6 +146,25 @@ pub enum Event {
         /// The party the evidence points at.
         culprit: PartyId,
     },
+    /// A delivered vertex was buffered by the DAG layer because a causal
+    /// parent is still missing (paper: causal-completeness gate).
+    DagBuffered {
+        /// Vertex round.
+        round: Round,
+        /// Vertex source.
+        source: PartyId,
+    },
+    /// A vertex became live in the DAG (inserted with its full causal
+    /// history present, possibly unblocking previously buffered ones).
+    DagLive {
+        /// Vertex round.
+        round: Round,
+        /// Vertex source.
+        source: PartyId,
+        /// Vertices still buffered as pending after this insertion — the
+        /// live occupancy of the causal-completeness buffer.
+        pending: u64,
+    },
     /// Straw-man: a proof of availability completed (`f_c+1` acks).
     PoaFormed {
         /// Owner-local block sequence number.
@@ -162,6 +194,8 @@ impl Event {
             Event::MsgDropped { .. } => "msg_dropped",
             Event::PartitionHeld { .. } => "partition_held",
             Event::EvidenceRecorded { .. } => "evidence",
+            Event::DagBuffered { .. } => "dag_buffered",
+            Event::DagLive { .. } => "dag_live",
             Event::PoaFormed { .. } => "poa_formed",
             Event::SlotCommitted { .. } => "slot_committed",
         }
@@ -191,9 +225,21 @@ impl Stamped {
             | Event::TimeoutAnnounced { round }
             | Event::TimeoutCertFormed { round }
             | Event::NoVoteCertFormed { round } => base.u64("round", round.0),
-            Event::VertexProposed { round, tx_count } => {
-                base.u64("round", round.0).u64("txs", *tx_count)
-            }
+            Event::VertexProposed {
+                round,
+                tx_count,
+                digest,
+                strong,
+                weak,
+            } => base
+                .u64("round", round.0)
+                .u64("txs", *tx_count)
+                .str("digest", &format!("{digest:016x}"))
+                .arr_u64(
+                    "strong",
+                    &strong.iter().map(|p| p.0 as u64).collect::<Vec<u64>>(),
+                )
+                .u64("weak", *weak),
             Event::Rbc {
                 phase,
                 round,
@@ -237,6 +283,17 @@ impl Stamped {
                 .str("kind", kind)
                 .u64("round", round.0)
                 .u64("culprit", culprit.0 as u64),
+            Event::DagBuffered { round, source } => {
+                base.u64("round", round.0).u64("source", source.0 as u64)
+            }
+            Event::DagLive {
+                round,
+                source,
+                pending,
+            } => base
+                .u64("round", round.0)
+                .u64("source", source.0 as u64)
+                .u64("pending", *pending),
             Event::PoaFormed { seq } => base.u64("seq", *seq),
             Event::SlotCommitted { slot, txs } => base.u64("slot", *slot).u64("txs", *txs),
         }

@@ -23,19 +23,28 @@
 //! * [`stage`] — derives the per-vertex commit-latency *stage breakdown*
 //!   (propose → RBC-deliver → vote → commit), split by leader/non-leader
 //!   path, from a recorded event stream.
+//! * [`span`] — causal commit spans: one block's lifecycle
+//!   (`Proposed → Echoed → Certified → Ordered → Committed`) reconstructed
+//!   across all parties from a merged trace.
+//! * [`flight`] — the bounded flight recorder (black box): newest-events
+//!   ring plus gauge samples, dumped on panic or `CLANBFT_DUMP`.
 //!
 //! [`Micros`]: clanbft_types::Micros
 //! [`PartyId`]: clanbft_types::PartyId
 
 pub mod counters;
 pub mod event;
+pub mod flight;
 pub mod hist;
 pub mod ndjson;
 pub mod recorder;
+pub mod span;
 pub mod stage;
 
 pub use event::{Event, RbcPhase, Stamped};
+pub use flight::{install_panic_dump, FlightRecorder};
 pub use hist::Histogram;
 pub use ndjson::JsonObj;
-pub use recorder::{MemRecorder, NullRecorder, Recorder, Telemetry};
+pub use recorder::{MemRecorder, NullRecorder, Recorder, TeeRecorder, Telemetry};
+pub use span::{Span, SpanSet, Stage};
 pub use stage::{stage_breakdown, StageBreakdown, StageStats};

@@ -59,6 +59,20 @@ impl JsonObj {
         self
     }
 
+    /// Adds an array of unsigned integers.
+    pub fn arr_u64(mut self, k: &str, vs: &[u64]) -> JsonObj {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Renders the object as one line (no trailing newline).
     pub fn finish(self) -> String {
         format!("{{{}}}", self.buf)
@@ -116,5 +130,14 @@ mod tests {
     #[test]
     fn non_finite_floats_are_null() {
         assert_eq!(JsonObj::new().f64("x", f64::NAN).finish(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn u64_arrays() {
+        assert_eq!(
+            JsonObj::new().arr_u64("xs", &[3, 1, 2]).finish(),
+            r#"{"xs":[3,1,2]}"#
+        );
+        assert_eq!(JsonObj::new().arr_u64("xs", &[]).finish(), r#"{"xs":[]}"#);
     }
 }

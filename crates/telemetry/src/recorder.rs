@@ -8,12 +8,18 @@
 //! — the simulator is single-threaded, so the lock is never contended and
 //! the event order is the deterministic handler execution order.
 
+use crate::counters;
 use crate::event::{Event, Stamped};
 use crate::hist::Histogram;
 use clanbft_types::{Micros, PartyId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+
+/// Default bound on [`MemRecorder`]'s event log. Generous enough for every
+/// experiment in the repo (the fig5 full-scale sweep stays well under it),
+/// small enough that a runaway sim cannot grow memory without bound.
+pub const DEFAULT_EVENT_CAP: usize = 1_000_000;
 
 /// Sink for metrics and protocol events.
 pub trait Recorder: Send + Sync {
@@ -45,19 +51,45 @@ struct MemInner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
-    events: Vec<Stamped>,
+    events: VecDeque<Stamped>,
 }
 
 /// In-memory recorder: counters, gauges, histograms and the event log.
-#[derive(Default)]
+///
+/// The event log is a ring: once `event_cap` events are held, each new
+/// event evicts the oldest one and ticks [`counters::EVENTS_DROPPED`], so
+/// the retained log is always the newest suffix of the run.
 pub struct MemRecorder {
     inner: Mutex<MemInner>,
+    event_cap: usize,
+}
+
+impl Default for MemRecorder {
+    fn default() -> MemRecorder {
+        MemRecorder::with_capacity(DEFAULT_EVENT_CAP)
+    }
 }
 
 impl MemRecorder {
-    /// A fresh, empty recorder.
+    /// A fresh, empty recorder with the default event cap
+    /// ([`DEFAULT_EVENT_CAP`]).
     pub fn new() -> MemRecorder {
         MemRecorder::default()
+    }
+
+    /// A fresh recorder bounding the event log at `event_cap` events
+    /// (clamped to at least 1).
+    pub fn with_capacity(event_cap: usize) -> MemRecorder {
+        MemRecorder {
+            inner: Mutex::default(),
+            event_cap: event_cap.max(1),
+        }
+    }
+
+    /// Events evicted from the ring so far (same value as the
+    /// [`counters::EVENTS_DROPPED`] counter).
+    pub fn dropped_events(&self) -> u64 {
+        self.counter(counters::EVENTS_DROPPED)
     }
 
     /// Current value of a counter (0 if never touched).
@@ -102,9 +134,15 @@ impl MemRecorder {
             .collect()
     }
 
-    /// A clone of the full event log, in emission order.
+    /// A clone of the retained event log, in emission order.
     pub fn events(&self) -> Vec<Stamped> {
-        self.inner.lock().expect("telemetry lock").events.clone()
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of events recorded so far.
@@ -155,11 +193,48 @@ impl Recorder for MemRecorder {
     }
 
     fn event(&self, at: Micros, party: PartyId, event: Event) {
-        self.inner
-            .lock()
-            .expect("telemetry lock")
-            .events
-            .push(Stamped { at, party, event });
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        if inner.events.len() >= self.event_cap {
+            inner.events.pop_front();
+            *inner.counters.entry(counters::EVENTS_DROPPED).or_insert(0) += 1;
+        }
+        inner.events.push_back(Stamped { at, party, event });
+    }
+}
+
+/// Fans every call out to two recorders (e.g. a [`MemRecorder`] for full
+/// readout plus a [`crate::flight::FlightRecorder`] for crash dumps).
+pub struct TeeRecorder {
+    a: Arc<dyn Recorder>,
+    b: Arc<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// A recorder duplicating every call into `a` then `b`.
+    pub fn new(a: Arc<dyn Recorder>, b: Arc<dyn Recorder>) -> TeeRecorder {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, metric: &'static str, value: u64) {
+        self.a.record(metric, value);
+        self.b.record(metric, value);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.a.add(counter, delta);
+        self.b.add(counter, delta);
+    }
+
+    fn gauge(&self, gauge: &'static str, value: u64) {
+        self.a.gauge(gauge, value);
+        self.b.gauge(gauge, value);
+    }
+
+    fn event(&self, at: Micros, party: PartyId, event: Event) {
+        self.a.event(at, party, event.clone());
+        self.b.event(at, party, event);
     }
 }
 
@@ -199,6 +274,18 @@ impl Telemetry {
     /// returned alongside for readout after the run.
     pub fn mem() -> (Telemetry, Arc<MemRecorder>) {
         let rec = Arc::new(MemRecorder::new());
+        (
+            Telemetry {
+                enabled: true,
+                rec: Arc::clone(&rec) as Arc<dyn Recorder>,
+            },
+            rec,
+        )
+    }
+
+    /// Like [`Telemetry::mem`] with an explicit event-log bound.
+    pub fn mem_with_capacity(event_cap: usize) -> (Telemetry, Arc<MemRecorder>) {
+        let rec = Arc::new(MemRecorder::with_capacity(event_cap));
         (
             Telemetry {
                 enabled: true,
@@ -304,5 +391,55 @@ mod tests {
         t.add("c", 1);
         t2.add("c", 1);
         assert_eq!(rec.counter("c"), 2);
+    }
+
+    #[test]
+    fn event_log_is_a_bounded_ring() {
+        let (t, rec) = Telemetry::mem_with_capacity(3);
+        for i in 0..5u64 {
+            t.event(
+                Micros(i),
+                PartyId(0),
+                Event::RoundEntered {
+                    round: Round(i + 1),
+                },
+            );
+        }
+        // The newest 3 events are retained; the 2 oldest were evicted and
+        // counted.
+        assert_eq!(rec.event_count(), 3);
+        assert_eq!(rec.dropped_events(), 2);
+        assert_eq!(rec.counter(counters::EVENTS_DROPPED), 2);
+        let rounds: Vec<u64> = rec
+            .events()
+            .iter()
+            .map(|s| match s.event {
+                Event::RoundEntered { round } => round.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn tee_duplicates_into_both_recorders() {
+        let a = Arc::new(MemRecorder::new());
+        let b = Arc::new(MemRecorder::new());
+        let t = Telemetry::with_recorder(Arc::new(TeeRecorder::new(
+            Arc::clone(&a) as Arc<dyn Recorder>,
+            Arc::clone(&b) as Arc<dyn Recorder>,
+        )));
+        t.add("c", 4);
+        t.gauge("g", 9);
+        t.event(
+            Micros(1),
+            PartyId(2),
+            Event::RoundEntered { round: Round(3) },
+        );
+        for rec in [&a, &b] {
+            assert_eq!(rec.counter("c"), 4);
+            assert_eq!(rec.gauge_value("g"), Some(9));
+            assert_eq!(rec.event_count(), 1);
+        }
     }
 }

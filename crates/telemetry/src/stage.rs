@@ -164,28 +164,24 @@ mod tests {
         }
     }
 
+    fn proposed(round: Round, tx_count: u64) -> Event {
+        Event::VertexProposed {
+            round,
+            tx_count,
+            digest: 0,
+            strong: Vec::new(),
+            weak: 0,
+        }
+    }
+
     #[test]
     fn splits_leader_and_non_leader_paths() {
         let r = Round(1);
         let leader = PartyId(0);
         let other = PartyId(1);
         let events = vec![
-            ev(
-                100,
-                0,
-                Event::VertexProposed {
-                    round: r,
-                    tx_count: 5,
-                },
-            ),
-            ev(
-                110,
-                1,
-                Event::VertexProposed {
-                    round: r,
-                    tx_count: 5,
-                },
-            ),
+            ev(100, 0, proposed(r, 5)),
+            ev(110, 1, proposed(r, 5)),
             // Party 2 certifies both vertices, votes for the leader, then
             // commits leader (3δ path) and non-leader (later, 5δ path).
             ev(
@@ -269,14 +265,7 @@ mod tests {
         let r = Round(2);
         let src = PartyId(1);
         let events = vec![
-            ev(
-                100,
-                1,
-                Event::VertexProposed {
-                    round: r,
-                    tx_count: 1,
-                },
-            ),
+            ev(100, 1, proposed(r, 1)),
             ev(
                 400,
                 0,

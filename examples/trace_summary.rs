@@ -8,24 +8,22 @@
 //!
 //! The run attaches a `MemRecorder` to the simulator and every node, so each
 //! protocol step (round entry, proposal, RBC phases, votes, commits) lands in
-//! one time-stamped event stream. From that stream we derive per-vertex
-//! propose→certify→commit stage latencies (split by leader vs non-leader
-//! vertices, the paper's 3δ vs 5δ commit paths) and assert:
-//!
-//! 1. per party, committed sequence numbers and commit stamps are monotone;
-//! 2. per party, entered rounds are strictly increasing;
-//! 3. per committed vertex, propose ≤ certify ≤ commit in simulated time;
-//! 4. the robustness counters (`rejected.*`, `pull.retries`,
-//!    `evidence.recorded`) are reported, and the attack-indicating ones are
-//!    zero on this benign run.
+//! one time-stamped event stream. The stream is exported as a merged NDJSON
+//! trace and judged by the `clanbft-inspect` library — the same sequence
+//! contiguity, round monotonicity, agreement, stage-ordering and span
+//! completeness invariants `clanbft-inspect check` enforces on trace files
+//! (see `crates/inspect/src/check.rs` for the full list). On top of the
+//! shared gate this example asserts a benign-run-only property the generic
+//! checker cannot: the attack-indicating robustness counters stay zero.
 //!
 //! Exits non-zero if any invariant fails, so `scripts/ci.sh` can run it as
 //! an end-to-end telemetry check.
 
-use clanbft_sim::{build_tribe, collect_metrics, tribe::elect_clan, TribeSpec};
-use clanbft_telemetry::{counters, stage_breakdown, Event, RbcPhase, Telemetry};
-use clanbft_types::{Micros, PartyId, Round};
-use std::collections::BTreeMap;
+use clanbft_inspect::{check_report, estimate_delta, parse_trace};
+use clanbft_sim::{build_tribe, collect_metrics, export_trace, tribe::elect_clan, TribeSpec};
+use clanbft_telemetry::span::SpanSet;
+use clanbft_telemetry::{counters, stage_breakdown, Telemetry};
+use clanbft_types::Micros;
 
 fn main() {
     let n = 10;
@@ -46,88 +44,20 @@ fn main() {
     println!("captured {} protocol events", events.len());
     assert!(!events.is_empty(), "instrumented run produced no events");
 
-    // --- invariant 1: per-party commit order is monotone -------------------
-    let mut last_commit: BTreeMap<PartyId, (u64, Micros)> = BTreeMap::new();
-    let mut commits = 0u64;
-    for s in &events {
-        if let Event::VertexCommitted { sequence, .. } = s.event {
-            commits += 1;
-            if let Some(&(prev_seq, prev_at)) = last_commit.get(&s.party) {
-                assert!(
-                    sequence > prev_seq,
-                    "{}: commit sequence went {prev_seq} -> {sequence}",
-                    s.party
-                );
-                assert!(
-                    s.at >= prev_at,
-                    "{}: commit stamp went backwards ({prev_at} -> {})",
-                    s.party,
-                    s.at
-                );
-            }
-            last_commit.insert(s.party, (sequence, s.at));
-        }
-    }
-    assert!(commits > 0, "no vertices committed");
-    println!("invariant 1 ok: {commits} commit events, per-party monotone");
-
-    // --- invariant 2: per-party round entries strictly increase ------------
-    let mut last_round: BTreeMap<PartyId, Round> = BTreeMap::new();
-    for s in &events {
-        if let Event::RoundEntered { round } = s.event {
-            if let Some(&prev) = last_round.get(&s.party) {
-                assert!(
-                    round > prev,
-                    "{}: re-entered round {round} after {prev}",
-                    s.party
-                );
-            }
-            last_round.insert(s.party, round);
-        }
-    }
+    // --- shared trace invariants (the `clanbft-inspect check` gate) --------
+    let trace = parse_trace(&export_trace(&spec, &recorder)).expect("trace parses");
+    let (report, ok) = check_report(&trace);
+    print!("{report}");
+    assert!(ok, "trace failed the clanbft-inspect invariant gate");
+    let spans = SpanSet::from_events(&trace.events);
     println!(
-        "invariant 2 ok: rounds strictly increasing on {} parties",
-        last_round.len()
+        "spans: {} blocks, {} committing parties, delta~={}us",
+        spans.spans.len(),
+        spans.committers.len(),
+        estimate_delta(&spans).unwrap_or(0)
     );
 
-    // --- invariant 3: propose <= certify <= commit per vertex --------------
-    let mut proposed: BTreeMap<(Round, PartyId), Micros> = BTreeMap::new();
-    let mut certified: BTreeMap<(Round, PartyId, PartyId), Micros> = BTreeMap::new();
-    for s in &events {
-        match s.event {
-            Event::VertexProposed { round, .. } => {
-                proposed.entry((round, s.party)).or_insert(s.at);
-            }
-            Event::Rbc {
-                phase: RbcPhase::Certified,
-                round,
-                source,
-            } => {
-                certified.entry((round, source, s.party)).or_insert(s.at);
-            }
-            _ => {}
-        }
-    }
-    let mut checked = 0u64;
-    for s in &events {
-        if let Event::VertexCommitted { round, source, .. } = s.event {
-            let prop = proposed
-                .get(&(round, source))
-                .unwrap_or_else(|| panic!("commit of {source}@{round} without a proposal event"));
-            assert!(
-                *prop <= s.at,
-                "{source}@{round} committed at {} before proposal at {prop}",
-                s.at
-            );
-            if let Some(cert) = certified.get(&(round, source, s.party)) {
-                assert!(*prop <= *cert && *cert <= s.at);
-            }
-            checked += 1;
-        }
-    }
-    println!("invariant 3 ok: propose <= certify <= commit on {checked} commits");
-
-    // --- invariant 4: robustness counters on a benign run -------------------
+    // --- benign-run extras: robustness counters ----------------------------
     // Surface every rejection/recovery counter, then assert the ones that can
     // only tick under attack are zero. `rejected.duplicate` and `pull.retries`
     // may tick benignly (redundant broadcast copies, slow echoers), so they
@@ -156,7 +86,7 @@ fn main() {
             "benign run ticked attack-indicating counter {name}"
         );
     }
-    println!("invariant 4 ok: no attack-indicating counters on a benign run\n");
+    println!("robustness ok: no attack-indicating counters on a benign run\n");
 
     // --- stage breakdown and run summary -----------------------------------
     let breakdown = stage_breakdown(&events);

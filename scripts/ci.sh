@@ -33,6 +33,30 @@ cargo test -q --offline -p clanbft-rbc --test idempotence --test hardening
 cargo test -q --offline -p clanbft-consensus --test idempotence
 cargo test -q --offline -p clanbft-sim --test determinism
 
+echo "== inspect gate (post-mortem toolchain over live traces)"
+# capture_trace runs the same 7-party single-clan tribe twice (benign and
+# with one withholding clan member, same seed), writes both merged NDJSON
+# traces, and already asserts their invariants in-process. Re-judge both
+# files through the clanbft-inspect binary: `check` fails on any
+# incomplete span or unattributed evidence, and the diff between the runs
+# must name the pull-retry machinery as the attack's dominant signature.
+TRACES=target/ci-traces
+rm -rf "$TRACES"
+cargo run --release --offline -p clanbft-sim --example capture_trace -- "$TRACES" > /dev/null
+INSPECT=target/release/clanbft-inspect
+cargo build --release --offline -p clanbft-inspect
+"$INSPECT" --check "$TRACES/benign.ndjson"
+"$INSPECT" --check "$TRACES/withhold.ndjson"
+if ! "$INSPECT" diff "$TRACES/benign.ndjson" "$TRACES/withhold.ndjson" \
+        | grep -q "verdict: pull-retry is the dominant regression"; then
+    echo "inspect diff failed to flag the pull-retry stage" >&2
+    exit 1
+fi
+# The waterfall and DAG renderings must at least produce non-empty output
+# on a real trace (their exact shape is pinned by unit/golden tests).
+test -n "$("$INSPECT" waterfall "$TRACES/benign.ndjson" | head -1)"
+test -n "$("$INSPECT" dot "$TRACES/benign.ndjson" --rounds 1..3 | head -1)"
+
 echo "== dependency audit (manifests must declare no external crates)"
 if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then
     echo "external crate reference found in a manifest" >&2

@@ -59,7 +59,8 @@ fn same_seed_single_clan_runs_commit_identically() {
     }
 }
 
-/// NDJSON event stream of one instrumented single-clan run.
+/// Merged NDJSON trace (meta line + event stream) of one instrumented
+/// single-clan run, as `clanbft-inspect` consumes it.
 fn run_traced(seed: u64) -> String {
     let n = 8;
     let (telemetry, recorder) = clanbft_telemetry::Telemetry::mem();
@@ -71,14 +72,15 @@ fn run_traced(seed: u64) -> String {
     spec.telemetry = telemetry;
     let mut built = build_tribe(&spec);
     built.sim.run_until(Micros::from_secs(3_000));
-    recorder.to_ndjson()
+    clanbft_sim::export_trace(&spec, &recorder)
 }
 
 #[test]
 fn same_seed_runs_emit_identical_event_streams() {
     // The telemetry layer must not introduce nondeterminism of its own
-    // (iteration order, interleaving): the full serialized event stream —
-    // every stamp, party and field — is byte-identical across same-seed runs.
+    // (iteration order, interleaving): the full serialized merged trace —
+    // meta line, every stamp, party and field — is byte-identical across
+    // same-seed runs.
     let first = run_traced(42);
     let second = run_traced(42);
     assert!(
@@ -89,6 +91,30 @@ fn same_seed_runs_emit_identical_event_streams() {
         first, second,
         "event streams diverged between same-seed runs"
     );
+}
+
+#[test]
+fn same_seed_runs_analyze_identically() {
+    // The post-mortem toolchain must be as deterministic as the runs it
+    // judges: parsing the merged trace and rendering the commit waterfall
+    // twice from two same-seed runs yields byte-identical reports, and the
+    // trace passes the `clanbft-inspect check` invariant gate. (This also
+    // exercises the full NDJSON round trip: every event the stack emits is
+    // parseable, none are skipped as unknown.)
+    let first = clanbft_inspect::parse_trace(&run_traced(42)).expect("trace parses");
+    let second = clanbft_inspect::parse_trace(&run_traced(42)).expect("trace parses");
+    assert_eq!(first.skipped, 0, "trace contained unknown event labels");
+    let (wf_a, wf_b) = (
+        clanbft_inspect::waterfall(&first),
+        clanbft_inspect::waterfall(&second),
+    );
+    assert!(
+        wf_a.lines().count() > 10,
+        "waterfall is suspiciously short:\n{wf_a}"
+    );
+    assert_eq!(wf_a, wf_b, "waterfalls diverged between same-seed runs");
+    let (report, ok) = clanbft_inspect::check_report(&first);
+    assert!(ok, "benign trace failed the invariant gate:\n{report}");
 }
 
 /// One instrumented adversarial run: commit traces plus detection counters.
