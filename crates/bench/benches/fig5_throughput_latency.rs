@@ -55,6 +55,10 @@ impl Headline {
             .u64("p50_latency_us", m.p50_latency.0)
             .u64("p99_latency_us", m.p99_latency.0)
             .u64("bytes_per_tx", bytes_per_tx)
+            .u64("proposals", m.proposals)
+            .u64("batch_p50", m.batch_p50)
+            .u64("batch_p99", m.batch_p99)
+            .u64("batch_max", m.batch_max)
             .finish()
     }
 }

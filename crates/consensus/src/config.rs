@@ -1,5 +1,6 @@
 //! Node configuration for the three protocol variants.
 
+use clanbft_mempool::{MempoolConfig, SizerConfig, WorkloadSpec};
 use clanbft_rbc::ClanTopology;
 use clanbft_simnet::cost::CostModel;
 use clanbft_telemetry::Telemetry;
@@ -25,9 +26,18 @@ pub struct NodeConfig {
     /// tests run the simulator to quiescence.
     pub max_round: Option<u64>,
     /// Synthetic transactions per proposal (0 = propose empty blocks).
+    /// Ignored when `workload` is set.
     pub txs_per_proposal: u32,
     /// Synthetic transaction size in bytes (the paper uses 512).
     pub tx_bytes: u32,
+    /// Client workload driving this proposer's ingress. `None` falls back
+    /// to the historical synthetic model parameterised by
+    /// `txs_per_proposal`.
+    pub workload: Option<WorkloadSpec>,
+    /// Bounds of the proposer's mempool (ignored by non-proposers).
+    pub mempool: MempoolConfig,
+    /// Dynamic batch-sizer tuning (ignored by the synthetic workload).
+    pub sizer: SizerConfig,
     /// Whether this party proposes non-empty blocks. Under single-clan only
     /// clan members do; under the other variants everybody does.
     pub is_block_proposer: bool,
@@ -64,6 +74,9 @@ impl NodeConfig {
             max_round: None,
             txs_per_proposal: 0,
             tx_bytes: 512,
+            workload: None,
+            mempool: MempoolConfig::default(),
+            sizer: SizerConfig::default(),
             is_block_proposer: true,
             verify_sigs: true,
             execute: false,

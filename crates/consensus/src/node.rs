@@ -28,6 +28,7 @@ use crate::schedule::LeaderSchedule;
 use crate::trackers::{TimeoutTracker, VoteOutcome, VoteTracker};
 use clanbft_crypto::{Authenticator, Digest};
 use clanbft_dag::{order, Dag, InsertOutcome};
+use clanbft_mempool::{plan_batches, ClientIngress, WorkloadSpec};
 use clanbft_rbc::{parse_retry_token, Effects, EngineConfig, RbcEvent, TribePayload, TribeRbc2};
 use clanbft_simnet::protocol::{Ctx, Protocol};
 use clanbft_telemetry::{counters, Event};
@@ -114,9 +115,19 @@ pub struct SailfishNode {
     /// The executor, if execution is enabled.
     pub executor: Option<Executor>,
 
+    /// Client ingress: workload generator, bounded mempool and dynamic
+    /// batch sizer (`None` for non-proposers and zero-workload runs).
+    ingress: Option<ClientIngress>,
+
     next_seq: u64,
     last_proposal_at: Micros,
 }
+
+/// Cap on `TxBatch` runs per block: pulled transactions are coalesced by
+/// arrival stamp, and arbitrarily fragmented stamps are merged down to this
+/// many batches (earliest stamp wins, so measured latency only gets more
+/// pessimistic).
+const MAX_BATCHES_PER_BLOCK: usize = 16;
 
 impl SailfishNode {
     /// Builds a node from its configuration and signing identity.
@@ -127,6 +138,31 @@ impl SailfishNode {
         engine_cfg.pull_retry = cfg.pull_retry;
         let rbc =
             TribeRbc2::new(engine_cfg, Arc::clone(&auth)).with_sig_verification(cfg.verify_sigs);
+        // Proposers front their proposals with a client ingress; the
+        // workload defaults to the historical synthetic model so existing
+        // `txs_per_proposal` callers keep their behaviour.
+        let workload = cfg.workload.unwrap_or(WorkloadSpec::Synthetic {
+            txs_per_proposal: cfg.txs_per_proposal,
+        });
+        let ingress = if cfg.is_block_proposer
+            && !matches!(
+                workload,
+                WorkloadSpec::Synthetic {
+                    txs_per_proposal: 0
+                }
+            ) {
+            Some(ClientIngress::new(
+                workload,
+                cfg.tx_bytes,
+                cfg.mempool,
+                cfg.sizer,
+                // Per-node arrival randomness, derived from the shared seed.
+                cfg.schedule_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cfg.me.idx() as u64 + 1),
+                cfg.telemetry.clone(),
+            ))
+        } else {
+            None
+        };
         SailfishNode {
             schedule: LeaderSchedule::new(cfg.tribe.n(), cfg.schedule_seed),
             dag: Dag::new(cfg.tribe),
@@ -153,6 +189,7 @@ impl SailfishNode {
             } else {
                 None
             },
+            ingress,
             next_seq: 0,
             last_proposal_at: Micros::ZERO,
             cfg,
@@ -177,6 +214,18 @@ impl SailfishNode {
     /// Total transactions in this node's committed log.
     pub fn committed_txs(&self) -> u64 {
         self.committed_log.iter().map(|c| c.block_tx_count).sum()
+    }
+
+    /// This proposer's client ingress (mempool stats, sizer state,
+    /// in-flight count), if it proposes a workload.
+    pub fn ingress(&self) -> Option<&ClientIngress> {
+        self.ingress.as_ref()
+    }
+
+    /// A full block this node holds (own proposals and clan downloads).
+    /// Disappears once garbage collection passes it (`gc_depth`).
+    pub fn held_block(&self, vref: &VertexRef) -> Option<&Block> {
+        self.blocks.get(vref).map(Arc::as_ref)
     }
 
     /// Misbehaviour evidence this node has accumulated (consensus-level
@@ -235,35 +284,31 @@ impl SailfishNode {
     // --- proposing ---------------------------------------------------------
 
     fn build_block(&mut self, round: Round, now: Micros) -> Block {
-        let t = self.cfg.txs_per_proposal;
-        if !self.cfg.is_block_proposer || t == 0 || self.stopped_proposing {
+        if self.stopped_proposing {
             return Block::empty(self.cfg.me, round);
         }
-        // Model continuous client arrival: the batch is split into four
-        // sub-batches created evenly across the inter-proposal gap, so the
-        // measured latency includes the queueing delay real clients see.
+        let Some(ingress) = self.ingress.as_mut() else {
+            return Block::empty(self.cfg.me, round);
+        };
+        // Advance simulated client arrivals over the inter-proposal gap,
+        // then let the sizer decide how much of the queue this proposal
+        // drains. Pulled transactions are coalesced into TxBatch runs by
+        // arrival stamp so the measured latency keeps the queueing delay
+        // real clients saw.
+        ingress.poll(self.last_proposal_at, now, round.0);
         let gap = now.saturating_sub(self.last_proposal_at);
-        let mut batches = Vec::new();
-        let quarters = 4u32;
-        let base = t / quarters;
-        let rem = t % quarters;
-        for q in 0..quarters {
-            let count = base + u32::from(q < rem);
-            if count == 0 {
-                continue;
-            }
-            // Midpoint of the q-th quarter of the inter-proposal gap, so
-            // the mean queueing delay is gap/2 as for uniform arrival.
-            let age = gap.0 * (2 * (quarters - q) as u64 - 1) / (2 * quarters as u64);
-            let created_at = now.saturating_sub(Micros(age));
+        let pulled = ingress.pull(now, gap);
+        let plans = plan_batches(pulled, MAX_BATCHES_PER_BLOCK);
+        let mut batches = Vec::with_capacity(plans.len());
+        for plan in plans {
             batches.push(TxBatch::synthetic(
                 self.cfg.me,
                 self.next_seq,
-                count,
-                self.cfg.tx_bytes,
-                created_at,
+                plan.count,
+                plan.tx_bytes,
+                plan.created_at,
             ));
-            self.next_seq += count as u64;
+            self.next_seq += u64::from(plan.count);
         }
         Block::new(self.cfg.me, round, batches)
     }
@@ -354,6 +399,9 @@ impl SailfishNode {
         // Keep our own block regardless of clan membership (we produced it).
         self.blocks.insert(vref, Arc::clone(&payload.block));
         self.rbc.broadcast(round, payload, fx);
+        if let Some(ingress) = self.ingress.as_mut() {
+            ingress.note_proposed(vref);
+        }
         self.last_proposal_at = now;
     }
 
@@ -547,6 +595,13 @@ impl SailfishNode {
             {
                 self.exec_queue.push_back(vref);
             }
+            // Commit feedback for our own proposals: closed-loop clients
+            // submit their next transaction the moment the previous commits.
+            if vref.source == self.cfg.me {
+                if let Some(ingress) = self.ingress.as_mut() {
+                    ingress.on_committed(vref, now);
+                }
+            }
         }
         self.last_committed = Some(round);
         self.try_execute(now);
@@ -643,6 +698,9 @@ impl SailfishNode {
             counters::BUF_EVIDENCE_BACKLOG,
             (self.evidence.len() as u64).saturating_add(rbc.evidence_backlog),
         );
+        if let Some(ingress) = &self.ingress {
+            tel.gauge(counters::BUF_MEMPOOL_DEPTH, ingress.pool().depth() as u64);
+        }
     }
 
     // --- effects plumbing -----------------------------------------------------

@@ -1,0 +1,185 @@
+//! Feedback-driven dynamic batch sizing.
+//!
+//! The policy follows the febft observation that waiting to fill a fixed
+//! batch is the wrong trade at low load: pull whatever is queued (minimum
+//! one transaction) and propose immediately, while an adaptive cap bounds
+//! how much a single proposal may carry. The cap reacts to observed demand:
+//! when a proposal drains the cap completely the queue is deep and the cap
+//! doubles (throughput-biased — amortise header and crypto cost over more
+//! transactions); when proposals keep pulling far below the cap the queue
+//! is shallow and the cap halves (latency-biased — no reason to let a
+//! bigger batch accumulate). An EWMA of the time between proposals is kept
+//! for introspection and exported through telemetry-facing accessors.
+
+use clanbft_types::Micros;
+
+/// Tuning knobs for [`BatchSizer`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizerConfig {
+    /// Smallest cap the sizer will shrink to (also the initial pull floor).
+    pub min_batch: u32,
+    /// Largest cap the sizer will grow to.
+    pub max_batch: u32,
+    /// Initial cap before any feedback arrives.
+    pub initial_batch: u32,
+}
+
+impl Default for SizerConfig {
+    fn default() -> SizerConfig {
+        SizerConfig {
+            min_batch: 8,
+            max_batch: 4096,
+            initial_batch: 64,
+        }
+    }
+}
+
+/// Adaptive batch-size controller.
+#[derive(Clone, Debug)]
+pub struct BatchSizer {
+    cfg: SizerConfig,
+    cap: u32,
+    /// EWMA of time between proposals, in microseconds (0 until observed).
+    ewma_gap_us: u64,
+}
+
+impl BatchSizer {
+    /// A sizer starting at the configured initial cap.
+    pub fn new(cfg: SizerConfig) -> BatchSizer {
+        let cap = cfg.initial_batch.clamp(cfg.min_batch, cfg.max_batch);
+        BatchSizer {
+            cfg,
+            cap,
+            ewma_gap_us: 0,
+        }
+    }
+
+    /// Current adaptive cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Smoothed time between proposals observed so far (microseconds).
+    pub fn smoothed_gap_us(&self) -> u64 {
+        self.ewma_gap_us
+    }
+
+    /// Chooses how many transactions the next proposal should pull, given
+    /// the current queue depth and the time since the previous proposal,
+    /// and feeds the outcome back into the adaptive cap.
+    ///
+    /// Returns 0 only when the queue is empty; otherwise at least 1 — the
+    /// proposer never waits for a batch to fill.
+    pub fn choose(&mut self, queue_depth: usize, gap_since_last: Micros) -> u32 {
+        // EWMA with alpha = 1/4: new = old + (sample - old) / 4.
+        if gap_since_last.0 > 0 {
+            if self.ewma_gap_us == 0 {
+                self.ewma_gap_us = gap_since_last.0;
+            } else {
+                let old = self.ewma_gap_us as i64;
+                self.ewma_gap_us = (old + (gap_since_last.0 as i64 - old) / 4) as u64;
+            }
+        }
+        let depth = u32::try_from(queue_depth).unwrap_or(u32::MAX);
+        let chosen = depth.min(self.cap);
+
+        // Feedback: a drained cap means demand exceeds supply — grow.
+        // Persistent deep under-fill means demand is light — shrink, so the
+        // next burst is proposed with low latency instead of accumulating.
+        if depth >= self.cap {
+            self.cap = (self.cap.saturating_mul(2)).min(self.cfg.max_batch);
+        } else if depth < self.cap / 4 {
+            self.cap = (self.cap / 2).max(self.cfg.min_batch);
+        }
+        chosen.max(u32::from(depth > 0))
+    }
+}
+
+impl Default for BatchSizer {
+    fn default() -> BatchSizer {
+        BatchSizer::new(SizerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_chooses_zero_and_shrinks() {
+        let mut s = BatchSizer::default();
+        let start = s.cap();
+        assert_eq!(s.choose(0, Micros::from_millis(10)), 0);
+        assert!(s.cap() < start, "idle proposals shrink the cap");
+    }
+
+    #[test]
+    fn never_waits_for_a_full_batch() {
+        let mut s = BatchSizer::default();
+        // One straggler in the queue is proposed immediately.
+        assert_eq!(s.choose(1, Micros::from_millis(5)), 1);
+    }
+
+    #[test]
+    fn grows_under_sustained_load() {
+        let mut s = BatchSizer::new(SizerConfig {
+            min_batch: 8,
+            max_batch: 1024,
+            initial_batch: 8,
+        });
+        // The queue always has more than the cap: cap doubles per proposal
+        // until it hits the ceiling.
+        let mut sizes = Vec::new();
+        for _ in 0..10 {
+            sizes.push(s.choose(100_000, Micros::from_millis(1)));
+        }
+        assert_eq!(sizes, vec![8, 16, 32, 64, 128, 256, 512, 1024, 1024, 1024]);
+        assert_eq!(s.cap(), 1024);
+    }
+
+    #[test]
+    fn shrinks_back_at_low_load() {
+        let mut s = BatchSizer::new(SizerConfig {
+            min_batch: 8,
+            max_batch: 1024,
+            initial_batch: 1024,
+        });
+        // Trickle load: two transactions per proposal gap.
+        for _ in 0..16 {
+            s.choose(2, Micros::from_millis(20));
+        }
+        assert_eq!(s.cap(), 8, "cap decays to the floor under trickle load");
+        // And the trickle still goes out whole, immediately.
+        assert_eq!(s.choose(2, Micros::from_millis(20)), 2);
+    }
+
+    #[test]
+    fn ewma_tracks_proposal_cadence() {
+        let mut s = BatchSizer::default();
+        s.choose(10, Micros(1000));
+        assert_eq!(s.smoothed_gap_us(), 1000);
+        s.choose(10, Micros(2000));
+        assert_eq!(s.smoothed_gap_us(), 1250);
+        // Zero gaps (same-instant re-entry) don't poison the estimate.
+        s.choose(10, Micros(0));
+        assert_eq!(s.smoothed_gap_us(), 1250);
+    }
+
+    #[test]
+    fn cap_respects_configured_bounds() {
+        let mut s = BatchSizer::new(SizerConfig {
+            min_batch: 4,
+            max_batch: 16,
+            initial_batch: 999,
+        });
+        assert_eq!(s.cap(), 16, "initial cap clamps into range");
+        for _ in 0..8 {
+            s.choose(1_000_000, Micros(1));
+        }
+        assert_eq!(s.cap(), 16);
+        for _ in 0..8 {
+            s.choose(0, Micros(1));
+        }
+        assert_eq!(s.cap(), 4);
+    }
+}

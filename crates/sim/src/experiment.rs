@@ -40,8 +40,12 @@ pub struct ExperimentSpec {
     pub proto: Proto,
     /// Tribe size.
     pub n: usize,
-    /// Transactions per proposal (paper x-axis parameter).
+    /// Transactions per proposal (paper x-axis parameter). Ignored when
+    /// `workload` is set.
     pub txs_per_proposal: u32,
+    /// Client workload for every proposer (`None` = historical synthetic
+    /// model at `txs_per_proposal`).
+    pub workload: Option<clanbft_mempool::WorkloadSpec>,
     /// Rounds to run (measured window excludes warm-up/cool-down).
     pub rounds: u64,
     /// Warm-up rounds excluded from measurement.
@@ -59,6 +63,7 @@ impl ExperimentSpec {
             proto,
             n,
             txs_per_proposal,
+            workload: None,
             rounds: 14,
             warmup_rounds: 3,
             cooldown_rounds: 3,
@@ -90,6 +95,7 @@ impl ExperimentSpec {
     pub fn tribe_spec(&self) -> TribeSpec {
         let mut spec = TribeSpec::new(self.n);
         spec.txs_per_proposal = self.txs_per_proposal;
+        spec.workload = self.workload;
         spec.max_round = Some(self.rounds);
         spec.seed = self.seed;
         spec.clans = match &self.proto {

@@ -33,6 +33,14 @@ pub struct RunMetrics {
     pub committed_rounds: u64,
     /// Total bytes placed on the simulated wire (whole run, all nodes).
     pub total_bytes: u64,
+    /// Non-empty proposals inside the window (for the batch distribution).
+    pub proposals: u64,
+    /// Median transactions per proposal (the dynamic sizer's choices).
+    pub batch_p50: u64,
+    /// 99th-percentile transactions per proposal.
+    pub batch_p99: u64,
+    /// Largest proposal in the window, in transactions.
+    pub batch_max: u64,
 }
 
 impl RunMetrics {
@@ -47,6 +55,10 @@ impl RunMetrics {
             .u64("window_us", self.window.0)
             .u64("committed_rounds", self.committed_rounds)
             .u64("total_bytes", self.total_bytes)
+            .u64("proposals", self.proposals)
+            .u64("batch_p50", self.batch_p50)
+            .u64("batch_p99", self.batch_p99)
+            .u64("batch_max", self.batch_max)
             .finish()
     }
 }
@@ -88,6 +100,9 @@ pub fn collect_metrics(
     let mut latencies: Vec<(Micros, u64)> = Vec::new();
     let mut t_min = Micros(u64::MAX);
     let mut t_max = Micros::ZERO;
+    // Batch-size distribution: transactions per proposal (one proposal =
+    // one vertex), over the same committed, in-window population.
+    let mut per_proposal: HashMap<VertexRef, u64> = HashMap::new();
     for &p in honest {
         for b in &sim.node(p).proposed_batches {
             if !in_window(b.vertex.round) {
@@ -100,10 +115,17 @@ pub fn collect_metrics(
             txs += b.count as u64;
             weighted_latency += latency.0 as u128 * b.count as u128;
             latencies.push((latency, b.count as u64));
+            *per_proposal.entry(b.vertex).or_insert(0) += b.count as u64;
             t_min = t_min.min(commit_all);
             t_max = t_max.max(commit_all);
         }
     }
+    let mut batch_sizes: Vec<(Micros, u64)> =
+        per_proposal.values().map(|&c| (Micros(c), 1)).collect();
+    let proposals = batch_sizes.len() as u64;
+    let batch_p50 = percentile(&mut batch_sizes, 0.50).0;
+    let batch_p99 = percentile(&mut batch_sizes, 0.99).0;
+    let batch_max = batch_sizes.last().map(|(c, _)| c.0).unwrap_or(0);
 
     let window = if txs > 0 {
         t_max.saturating_sub(t_min)
@@ -132,6 +154,10 @@ pub fn collect_metrics(
         window,
         committed_rounds,
         total_bytes: sim.stats().total_bytes(),
+        proposals,
+        batch_p50,
+        batch_p99,
+        batch_max,
     }
 }
 
@@ -195,6 +221,10 @@ mod tests {
             window: Micros(4_000_000),
             committed_rounds: 8,
             total_bytes: 1234,
+            proposals: 4,
+            batch_p50: 3,
+            batch_p99: 4,
+            batch_max: 4,
         };
         let line = m.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -202,5 +232,8 @@ mod tests {
         assert!(line.contains("\"p50_latency_us\":350"));
         assert!(line.contains("\"p99_latency_us\":900"));
         assert!(line.contains("\"throughput_tps\":2.5"));
+        assert!(line.contains("\"proposals\":4"));
+        assert!(line.contains("\"batch_p50\":3"));
+        assert!(line.contains("\"batch_max\":4"));
     }
 }

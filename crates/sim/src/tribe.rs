@@ -5,6 +5,7 @@ use clanbft_adversary::{AdversaryNode, Attack};
 use clanbft_committee::ClanAssignment;
 use clanbft_consensus::{ConsensusMsg, NodeConfig, SailfishNode};
 use clanbft_crypto::{Authenticator, Registry, Scheme};
+use clanbft_mempool::WorkloadSpec;
 use clanbft_rbc::ClanTopology;
 use clanbft_simnet::bandwidth::BandwidthModel;
 use clanbft_simnet::cost::CostModel;
@@ -22,10 +23,17 @@ pub struct TribeSpec {
     /// Clan structure: `None` = whole tribe (baseline Sailfish); one entry =
     /// single-clan; several = multi-clan partition.
     pub clans: Option<Vec<Vec<PartyId>>>,
-    /// Synthetic transactions per proposal (paper x-axis).
+    /// Synthetic transactions per proposal (paper x-axis). Ignored when
+    /// `workload` is set.
     pub txs_per_proposal: u32,
     /// Transaction size in bytes (512 in the paper).
     pub tx_bytes: u32,
+    /// Client workload every proposer's ingress runs. `None` keeps the
+    /// historical synthetic model parameterised by `txs_per_proposal`.
+    pub workload: Option<WorkloadSpec>,
+    /// Garbage-collect DAG/RBC state this many rounds behind the commit
+    /// frontier (`None` = keep everything, as exactly-once audits need).
+    pub gc_depth: Option<u64>,
     /// Stop proposing after this round.
     pub max_round: Option<u64>,
     /// Round timeout.
@@ -70,6 +78,8 @@ impl TribeSpec {
             clans: None,
             txs_per_proposal: 250,
             tx_bytes: 512,
+            workload: None,
+            gc_depth: Some(16),
             max_round: Some(10),
             timeout: Micros::from_secs(5),
             pull_retry: Micros::from_millis(500),
@@ -189,6 +199,8 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.max_round = spec.max_round;
             cfg.txs_per_proposal = spec.txs_per_proposal;
             cfg.tx_bytes = spec.tx_bytes;
+            cfg.workload = spec.workload;
+            cfg.gc_depth = spec.gc_depth;
             // Only parties inside their own dissemination clan can validate
             // and therefore propose transactions (paper §5): under
             // single-clan that is the designated clan; under multi-clan and

@@ -45,6 +45,45 @@ pub const EVIDENCE_RECORDED: &str = "evidence.recorded";
 /// a suffix of the run, not the whole run.
 pub const EVENTS_DROPPED: &str = "events.dropped";
 
+// --- client ingress / mempool ---------------------------------------------
+//
+// Ticked by `clanbft-mempool`. Admission counters pair with the rejection
+// taxonomy above: every client submission lands in exactly one of
+// admitted / rejected.*, so load tests can assert conservation
+// (admitted == committed + still-queued + in-flight).
+
+/// Transactions admitted into the mempool.
+pub const MEMPOOL_ADMITTED: &str = "mempool.admitted";
+
+/// Transactions pulled out of the mempool into proposals.
+pub const MEMPOOL_PULLED: &str = "mempool.pulled";
+
+/// Submissions rejected because the pool hit its transaction or byte
+/// capacity — the backpressure signal a real client sees as "retry later".
+pub const MEMPOOL_REJECTED_FULL: &str = "mempool.rejected.full";
+
+/// Submissions rejected as replays: the client's sequence number was
+/// already admitted (at-most-once admission).
+pub const MEMPOOL_REJECTED_DUPLICATE: &str = "mempool.rejected.duplicate";
+
+/// Submissions rejected for skipping ahead of the client's next expected
+/// sequence number (admission is gap-free per client).
+pub const MEMPOOL_REJECTED_GAP: &str = "mempool.rejected.gap";
+
+/// Submissions rejected because the per-client state table is at capacity —
+/// the bound that keeps a Sybil flood of fresh client ids from growing
+/// memory without limit.
+pub const MEMPOOL_REJECTED_CLIENT_CAP: &str = "mempool.rejected.client_cap";
+
+/// Histogram: admission → pull queueing delay, in microseconds.
+pub const MEMPOOL_QUEUE_DELAY: &str = "mempool.queue_delay_us";
+
+/// Histogram: batch size the dynamic sizer chose at each proposal.
+pub const MEMPOOL_BATCH_SIZE: &str = "mempool.batch_size";
+
+/// Histogram: percentage of the chosen batch size actually filled.
+pub const MEMPOOL_BATCH_OCCUPANCY: &str = "mempool.batch_occupancy_pct";
+
 // --- bounded-buffer occupancy gauges -------------------------------------
 //
 // Sampled by the consensus node once per round entry; the flight recorder
@@ -69,3 +108,6 @@ pub const BUF_DAG_ROUNDS: &str = "buf.dag.rounds";
 
 /// Evidence records held at the node layer (capped backlog).
 pub const BUF_EVIDENCE_BACKLOG: &str = "buf.evidence.backlog";
+
+/// Transactions queued in the mempool awaiting a proposal.
+pub const BUF_MEMPOOL_DEPTH: &str = "buf.mempool.depth";

@@ -45,6 +45,6 @@ pub use event::{Event, RbcPhase, Stamped};
 pub use flight::{install_panic_dump, FlightRecorder};
 pub use hist::Histogram;
 pub use ndjson::JsonObj;
-pub use recorder::{MemRecorder, NullRecorder, Recorder, TeeRecorder, Telemetry};
+pub use recorder::{mempool_summary, MemRecorder, NullRecorder, Recorder, TeeRecorder, Telemetry};
 pub use span::{Span, SpanSet, Stage};
 pub use stage::{stage_breakdown, StageBreakdown, StageStats};

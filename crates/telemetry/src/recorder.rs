@@ -338,6 +338,49 @@ impl Telemetry {
     }
 }
 
+/// One NDJSON line summarising the client-ingress telemetry a recorder
+/// collected: the admission/rejection counters and the queue-delay,
+/// batch-size and batch-occupancy histogram readouts (p50/p99/max each).
+/// Zero everywhere when the run had no ingress.
+pub fn mempool_summary(rec: &MemRecorder) -> String {
+    let hist = |name: &str| -> (u64, u64, u64) {
+        rec.histogram(name)
+            .map(|h| {
+                let (p50, _p90, p99, max) = h.readout();
+                (p50, p99, max)
+            })
+            .unwrap_or((0, 0, 0))
+    };
+    let (qd50, qd99, qdmax) = hist(counters::MEMPOOL_QUEUE_DELAY);
+    let (bs50, bs99, bsmax) = hist(counters::MEMPOOL_BATCH_SIZE);
+    let (oc50, _, _) = hist(counters::MEMPOOL_BATCH_OCCUPANCY);
+    crate::JsonObj::new()
+        .str("report", "mempool")
+        .u64("admitted", rec.counter(counters::MEMPOOL_ADMITTED))
+        .u64("pulled", rec.counter(counters::MEMPOOL_PULLED))
+        .u64(
+            "rejected_full",
+            rec.counter(counters::MEMPOOL_REJECTED_FULL),
+        )
+        .u64(
+            "rejected_duplicate",
+            rec.counter(counters::MEMPOOL_REJECTED_DUPLICATE),
+        )
+        .u64("rejected_gap", rec.counter(counters::MEMPOOL_REJECTED_GAP))
+        .u64(
+            "rejected_client_cap",
+            rec.counter(counters::MEMPOOL_REJECTED_CLIENT_CAP),
+        )
+        .u64("queue_delay_p50_us", qd50)
+        .u64("queue_delay_p99_us", qd99)
+        .u64("queue_delay_max_us", qdmax)
+        .u64("batch_size_p50", bs50)
+        .u64("batch_size_p99", bs99)
+        .u64("batch_size_max", bsmax)
+        .u64("batch_occupancy_p50_pct", oc50)
+        .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +462,24 @@ mod tests {
             })
             .collect();
         assert_eq!(rounds, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn mempool_summary_reads_counters_and_histograms() {
+        let (t, rec) = Telemetry::mem();
+        let line = mempool_summary(&rec);
+        assert!(line.contains("\"admitted\":0"), "empty recorder: {line}");
+        t.add(counters::MEMPOOL_ADMITTED, 12);
+        t.add(counters::MEMPOOL_REJECTED_FULL, 3);
+        t.record(counters::MEMPOOL_QUEUE_DELAY, 800);
+        t.record(counters::MEMPOOL_BATCH_SIZE, 64);
+        let line = mempool_summary(&rec);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"report\":\"mempool\""));
+        assert!(line.contains("\"admitted\":12"));
+        assert!(line.contains("\"rejected_full\":3"));
+        assert!(line.contains("\"queue_delay_p50_us\":"));
+        assert!(line.contains("\"batch_size_p50\":"));
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum DecodeError {
     LengthOverflow(u64),
     /// Trailing bytes remained after a top-level decode.
     TrailingBytes(usize),
+    /// Fields decoded individually but violate a cross-field invariant
+    /// (e.g. a payload whose length contradicts the declared batch shape).
+    Invalid(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -28,6 +31,7 @@ impl fmt::Display for DecodeError {
             DecodeError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
             DecodeError::LengthOverflow(l) => write!(f, "length prefix {l} too large"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
         }
     }
 }

@@ -90,31 +90,47 @@ impl TxBatch {
     }
 
     /// True iff the batch carries literal payload bytes.
+    ///
+    /// An empty batch (`count == 0` or `tx_bytes == 0`) carries nothing and
+    /// reports `false`: size-only sentinel batches must never be mistaken
+    /// for batches with literal bytes by an execution or ingress layer.
     pub fn has_payload(&self) -> bool {
-        !self.payload.is_empty() || self.count == 0 || self.tx_bytes == 0
+        !self.payload.is_empty()
     }
 
     /// Total wire bytes contributed by the transactions themselves.
+    ///
+    /// Computed in `u64` and saturated to `usize`, so adversarial
+    /// `count`/`tx_bytes` combinations cannot overflow on 32-bit targets
+    /// (decode rejects such batches; this accessor stays total anyway).
     pub fn tx_wire_bytes(&self) -> usize {
-        self.count as usize * self.tx_bytes as usize
+        let total = self.count as u64 * self.tx_bytes as u64;
+        usize::try_from(total).unwrap_or(usize::MAX)
     }
 
     /// Iterates over the transaction ids in this batch.
+    ///
+    /// Sequence numbers saturate at `u64::MAX` instead of wrapping when a
+    /// hand-constructed batch overruns the id space (decode rejects such
+    /// batches before they reach any caller).
     pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
         (0..self.count as u64).map(move |i| TxId {
             creator: self.creator,
-            seq: self.first_seq + i,
+            seq: self.first_seq.saturating_add(i),
         })
     }
 
     /// Returns the payload slice of transaction `i` within the batch, if
-    /// real bytes are present.
+    /// real bytes are present. Bounds-checked: a malformed batch yields
+    /// `None`, never a panic.
     pub fn tx_payload(&self, i: u32) -> Option<&[u8]> {
-        if self.payload.is_empty() || i >= self.count {
+        if !self.has_payload() || i >= self.count {
             return None;
         }
         let sz = self.tx_bytes as usize;
-        Some(&self.payload[i as usize * sz..(i as usize + 1) * sz])
+        let start = (i as usize).checked_mul(sz)?;
+        let end = start.checked_add(sz)?;
+        self.payload.get(start..end)
     }
 }
 
@@ -142,13 +158,24 @@ impl Encode for TxBatch {
 }
 
 impl Decode for TxBatch {
+    /// Rejects any encoding that would break the [`TxBatch::with_payload`]
+    /// invariant: a non-empty payload must be exactly `count * tx_bytes`
+    /// long, and the sequence range `[first_seq, first_seq + count)` must
+    /// fit in `u64`. Without these checks a hostile or corrupt encoding
+    /// reaches `tx_payload()`/`tx_ids()` holding contradictory fields.
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let creator = PartyId::decode(r)?;
         let first_seq = r.get_u64()?;
         let count = r.get_u32()?;
         let tx_bytes = r.get_u32()?;
         let created_at = Micros::decode(r)?;
+        if first_seq.checked_add(count as u64).is_none() {
+            return Err(DecodeError::Invalid("tx sequence range overflows u64"));
+        }
         let payload_len = r.get_len()?;
+        if payload_len != 0 && payload_len as u64 != count as u64 * tx_bytes as u64 {
+            return Err(DecodeError::Invalid("payload length != count * tx_bytes"));
+        }
         let payload = r.take(payload_len)?.to_vec();
         Ok(TxBatch {
             creator,
@@ -209,5 +236,97 @@ mod tests {
         let b = TxBatch::synthetic(PartyId(9), 1000, 3, 512, Micros(0));
         let ids: Vec<u64> = b.tx_ids().map(|t| t.seq).collect();
         assert_eq!(ids, vec![1000, 1001, 1002]);
+    }
+
+    /// Re-encode a batch with the payload swapped for `payload` — the raw
+    /// bytes a hostile peer could put on the wire.
+    fn encode_with_payload(b: &TxBatch, payload: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        b.creator.encode(&mut w);
+        w.put_u64(b.first_seq);
+        w.put_u32(b.count);
+        w.put_u32(b.tx_bytes);
+        b.created_at.encode(&mut w);
+        w.put_u32(payload.len() as u32);
+        w.put_bytes(payload);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        // Declares 4 txs of 8 bytes but carries only 24 payload bytes: the
+        // old decoder accepted this and `tx_payload(3)` sliced out of
+        // bounds. Now it is rejected at the boundary.
+        let b = TxBatch::with_payload(PartyId(1), 0, 4, 8, Micros(0), vec![7; 32]);
+        let truncated = encode_with_payload(&b, &[7; 24]);
+        assert_eq!(
+            TxBatch::from_bytes(&truncated),
+            Err(DecodeError::Invalid("payload length != count * tx_bytes"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_oversized_payload() {
+        let b = TxBatch::with_payload(PartyId(1), 0, 4, 8, Micros(0), vec![7; 32]);
+        let oversized = encode_with_payload(&b, &[7; 40]);
+        assert_eq!(
+            TxBatch::from_bytes(&oversized),
+            Err(DecodeError::Invalid("payload length != count * tx_bytes"))
+        );
+    }
+
+    #[test]
+    fn decode_accepts_synthetic_and_exact_payload() {
+        // Empty payload stays legal regardless of the declared tx count
+        // (sizes-only batches), and an exact payload round-trips.
+        let synthetic = TxBatch::synthetic(PartyId(2), 10, 100, 512, Micros(3));
+        assert_eq!(
+            TxBatch::from_bytes(&synthetic.to_bytes()).unwrap(),
+            synthetic
+        );
+        let real = TxBatch::with_payload(PartyId(2), 10, 2, 3, Micros(3), vec![9; 6]);
+        assert_eq!(TxBatch::from_bytes(&real.to_bytes()).unwrap(), real);
+    }
+
+    #[test]
+    fn decode_rejects_sequence_range_overflow() {
+        let b = TxBatch::synthetic(PartyId(1), u64::MAX - 1, 3, 8, Micros(0));
+        let bytes = b.to_bytes();
+        assert_eq!(
+            TxBatch::from_bytes(&bytes),
+            Err(DecodeError::Invalid("tx sequence range overflows u64"))
+        );
+    }
+
+    #[test]
+    fn malformed_batch_accessors_never_panic() {
+        // A hand-built contradictory batch (payload shorter than declared):
+        // accessors degrade to None / saturate instead of panicking.
+        let evil = TxBatch {
+            creator: PartyId(0),
+            first_seq: u64::MAX - 1,
+            count: 4,
+            tx_bytes: u32::MAX,
+            created_at: Micros(0),
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(evil.tx_payload(3), None);
+        assert_eq!(evil.tx_payload(0), None); // payload.get(0..4G) is None
+        let _ = evil.tx_wire_bytes(); // saturates, no overflow panic
+        assert_eq!(evil.tx_ids().count(), 4); // seqs saturate at u64::MAX
+        assert_eq!(evil.tx_ids().last().unwrap().seq, u64::MAX);
+    }
+
+    #[test]
+    fn empty_batches_report_no_payload() {
+        // The old predicate returned `true` for both of these sentinels.
+        let zero_count = TxBatch::synthetic(PartyId(0), 0, 0, 512, Micros(0));
+        assert!(!zero_count.has_payload());
+        let zero_bytes = TxBatch::synthetic(PartyId(0), 0, 10, 0, Micros(0));
+        assert!(!zero_bytes.has_payload());
+        assert_eq!(zero_count.tx_payload(0), None);
+        // A batch with literal bytes still reports true.
+        let real = TxBatch::with_payload(PartyId(0), 0, 1, 2, Micros(0), vec![1, 2]);
+        assert!(real.has_payload());
     }
 }

@@ -22,7 +22,7 @@
 use clanbft_inspect::{check_report, estimate_delta, parse_trace};
 use clanbft_sim::{build_tribe, collect_metrics, export_trace, tribe::elect_clan, TribeSpec};
 use clanbft_telemetry::span::SpanSet;
-use clanbft_telemetry::{counters, stage_breakdown, Telemetry};
+use clanbft_telemetry::{counters, mempool_summary, stage_breakdown, Telemetry};
 use clanbft_types::Micros;
 
 fn main() {
@@ -91,6 +91,18 @@ fn main() {
     // --- stage breakdown and run summary -----------------------------------
     let breakdown = stage_breakdown(&events);
     print!("{}", breakdown.to_ndjson());
+
+    // Client-ingress picture: admission/rejection counters plus queue-delay
+    // and batch-size distributions. Even this synthetic run exercises the
+    // mempool path, so admitted == pulled and nothing is rejected.
+    println!("{}", mempool_summary(&recorder));
+    let admitted = recorder.counter(counters::MEMPOOL_ADMITTED);
+    let pulled = recorder.counter(counters::MEMPOOL_PULLED);
+    assert!(
+        admitted > 0,
+        "synthetic workload admits through the mempool"
+    );
+    assert_eq!(admitted, pulled, "synthetic pulls drain every admission");
 
     let stats = built.sim.stats();
     println!(

@@ -33,6 +33,13 @@ cargo test -q --offline -p clanbft-rbc --test idempotence --test hardening
 cargo test -q --offline -p clanbft-consensus --test idempotence
 cargo test -q --offline -p clanbft-sim --test determinism
 
+echo "== client ingress (mempool admission, sizing, load generation, codecs)"
+# Mempool unit suite plus the cross-crate suites: closed-loop exactly-once,
+# open-loop backpressure, sizer adaptation, and the codec round-trip /
+# malformed-encoding-never-panics properties.
+cargo test -q --offline -p clanbft-mempool
+cargo test -q --offline -p clanbft-sim --test loadgen --test properties
+
 echo "== inspect gate (post-mortem toolchain over live traces)"
 # capture_trace runs the same 7-party single-clan tribe twice (benign and
 # with one withholding clan member, same seed), writes both merged NDJSON
@@ -56,6 +63,16 @@ fi
 # on a real trace (their exact shape is pinned by unit/golden tests).
 test -n "$("$INSPECT" waterfall "$TRACES/benign.ndjson" | head -1)"
 test -n "$("$INSPECT" dot "$TRACES/benign.ndjson" --rounds 1..3 | head -1)"
+
+echo "== load-generation smoke (>=100k closed-loop client txs, exactly-once)"
+# loadgen_smoke runs a 4-party closed-loop workload, audits in-process that
+# every admitted client transaction commits exactly once (no duplicates, no
+# gaps, nothing left queued or in flight), and writes its instrumented
+# trace; re-judge that trace through the clanbft-inspect binary too.
+LOADGEN=target/ci-loadgen
+rm -rf "$LOADGEN"
+cargo run --release --offline -p clanbft-sim --example loadgen_smoke -- "$LOADGEN" > /dev/null
+"$INSPECT" --check "$LOADGEN/loadgen.ndjson"
 
 echo "== dependency audit (manifests must declare no external crates)"
 if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then

@@ -74,6 +74,125 @@ fn arb_vertex(g: &mut Gen) -> Vertex {
 }
 
 #[test]
+fn txbatch_codec_roundtrip() {
+    check("txbatch_codec_roundtrip", CASES, arb_batch, |batch| {
+        let bytes = batch.to_bytes();
+        let back = TxBatch::from_bytes(&bytes).map_err(|e| format!("decode failed: {e:?}"))?;
+        tk_assert_eq!(&back, batch);
+        tk_assert_eq!(back.has_payload(), batch.has_payload());
+        tk_assert_eq!(back.tx_wire_bytes(), batch.tx_wire_bytes());
+        Ok(())
+    });
+}
+
+#[test]
+fn txbatch_synthetic_codec_roundtrip() {
+    // The metadata-only form (empty payload) must survive the wire too.
+    check(
+        "txbatch_synthetic_codec_roundtrip",
+        CASES,
+        |g| {
+            TxBatch::synthetic(
+                PartyId(g.u32_in(0, 4)),
+                g.u64_in(0, 1_000_000),
+                g.u32_in(0, 5_000),
+                g.u32_in(1, 4096),
+                Micros(g.u64_in(0, 1_000_000)),
+            )
+        },
+        |batch| {
+            let back = TxBatch::from_bytes(&batch.to_bytes())
+                .map_err(|e| format!("decode failed: {e:?}"))?;
+            tk_assert_eq!(&back, batch);
+            tk_assert!(!back.has_payload(), "synthetic batches carry no payload");
+            Ok(())
+        },
+    );
+}
+
+/// Random mutations of a *valid* encoding exercise the decoder's validation
+/// branches far more densely than uniformly random bytes: every mutant is
+/// one flip/truncation/extension away from well-formed. Decoding must
+/// either round-trip to a batch whose accessors are panic-free, or reject
+/// with a `DecodeError` — never panic.
+#[test]
+fn mutated_txbatch_encodings_never_panic() {
+    check_shrink(
+        "mutated_txbatch_encodings_never_panic",
+        CASES * 4,
+        |g| {
+            let mut bytes = arb_batch(g).to_bytes();
+            for _ in 0..g.usize_in(1, 5) {
+                match g.u8_in(0, 3) {
+                    0 if !bytes.is_empty() => {
+                        // Flip one byte anywhere (headers and payload both).
+                        let i = g.usize_in(0, bytes.len());
+                        bytes[i] ^= g.u8_in(1, 255);
+                    }
+                    1 => {
+                        bytes.truncate(g.usize_in(0, bytes.len() + 1));
+                    }
+                    _ => {
+                        bytes.extend(g.bytes(1, 16));
+                    }
+                }
+            }
+            bytes
+        },
+        |bytes| {
+            if let Ok(batch) = TxBatch::from_bytes(bytes) {
+                // Whatever decoded must have total accessors.
+                let _ = batch.has_payload();
+                let _ = batch.tx_wire_bytes();
+                let _ = batch.tx_ids().count();
+                for i in [0, batch.count.saturating_sub(1), batch.count, u32::MAX] {
+                    let _ = batch.tx_payload(i);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mutated_block_encodings_never_panic() {
+    check_shrink(
+        "mutated_block_encodings_never_panic",
+        CASES * 4,
+        |g| {
+            let mut bytes = arb_block(g).to_bytes();
+            for _ in 0..g.usize_in(1, 5) {
+                match g.u8_in(0, 3) {
+                    0 if !bytes.is_empty() => {
+                        let i = g.usize_in(0, bytes.len());
+                        bytes[i] ^= g.u8_in(1, 255);
+                    }
+                    1 => {
+                        bytes.truncate(g.usize_in(0, bytes.len() + 1));
+                    }
+                    _ => {
+                        bytes.extend(g.bytes(1, 16));
+                    }
+                }
+            }
+            bytes
+        },
+        |bytes| {
+            if let Ok(block) = Block::from_bytes(bytes) {
+                let _ = block.digest();
+                let _ = block.tx_count();
+                for b in &block.batches {
+                    let _ = b.has_payload();
+                    let _ = b.tx_wire_bytes();
+                    let _ = b.tx_payload(b.count);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn block_codec_roundtrip() {
     check("block_codec_roundtrip", CASES, arb_block, |block| {
         let bytes = block.to_bytes();
