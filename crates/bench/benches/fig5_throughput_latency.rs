@@ -59,6 +59,10 @@ impl Headline {
             .u64("batch_p50", m.batch_p50)
             .u64("batch_p99", m.batch_p99)
             .u64("batch_max", m.batch_max)
+            .u64("sim_events", m.sim_events)
+            .u64("wall_us", m.wall_us)
+            .f64("sim_events_per_sec", m.sim_events_per_sec)
+            .f64("wall_us_per_sim_sec", m.wall_us_per_sim_sec)
             .finish()
     }
 }
@@ -134,6 +138,9 @@ fn sweep(
 }
 
 fn main() {
+    // CLANBFT_PROFILE=path attributes the whole sweep's host time to
+    // pipeline stages (NDJSON + collapsed stacks next to `path`).
+    clanbft_bench::init_profiling();
     let rounds = if full_scale() { 14 } else { 8 };
     let mut summary: Vec<Headline> = Vec::new();
     println!("=== Figure 5: throughput vs latency ===\n");
@@ -168,4 +175,5 @@ fn main() {
         Ok(()) => println!("summary: {} protocols -> {path}", summary.len()),
         Err(e) => eprintln!("summary: failed to write {path}: {e}"),
     }
+    clanbft_bench::finish_profiling("fig5");
 }

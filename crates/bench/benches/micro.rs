@@ -1,24 +1,45 @@
 //! Micro-benchmarks for the substrates: hashing, signatures, combinatorics,
-//! bitmap quorum tracking and DAG operations, on the in-tree timing harness
-//! (`clanbft_bench::timing` — warmup, calibrated batches, mean/p50/p99).
+//! bitmap quorum tracking, DAG operations and the profiler itself, on the
+//! in-tree timing harness (`clanbft_bench::timing` — warmup, calibrated
+//! batches, mean/p50/p99).
+//!
+//! Besides the stdout table, every run truncate-writes one NDJSON line per
+//! benchmark to `crates/bench/BENCH_micro.json` (name, mean/p50/p99
+//! nanoseconds, harness profile) so the micro trajectory is diffable like
+//! `BENCH_summary.json`.
 
-use clanbft_bench::timing::Bench;
+use clanbft_bench::timing::{Bench, Timing};
 use clanbft_committee::binomial::binomial;
 use clanbft_committee::hypergeom::dishonest_majority_prob;
 use clanbft_crypto::scalar::Scalar;
 use clanbft_crypto::{schnorr, Bitmap, ClanRng, Digest, Keypair, Registry, Scheme};
 use clanbft_dag::Dag;
+use clanbft_profiler as prof;
 use clanbft_types::{PartyId, Round, TribeParams, Vertex, VertexRef};
+use std::cell::RefCell;
 use std::hint::black_box;
 
-fn bench_sha256(b: &Bench) {
+/// The timing harness plus a log of every result, for the NDJSON dump.
+struct Recorder {
+    bench: Bench,
+    timings: RefCell<Vec<Timing>>,
+}
+
+impl Recorder {
+    fn run<R>(&self, name: &str, f: impl FnMut() -> R) {
+        let t = self.bench.run(name, f);
+        self.timings.borrow_mut().push(t);
+    }
+}
+
+fn bench_sha256(b: &Recorder) {
     let small = vec![0xa5u8; 512];
     let big = vec![0xa5u8; 1 << 20];
     b.run("sha256/512B", || Digest::of(black_box(&small)));
     b.run("sha256/1MiB", || Digest::of(black_box(&big)));
 }
 
-fn bench_prng(b: &Bench) {
+fn bench_prng(b: &Recorder) {
     let mut rng = ClanRng::seed_from_u64(1);
     b.run("prng/next_u64", || rng.next_u64());
     let mut rng2 = ClanRng::seed_from_u64(2);
@@ -28,7 +49,7 @@ fn bench_prng(b: &Bench) {
     });
 }
 
-fn bench_schnorr(b: &Bench) {
+fn bench_schnorr(b: &Recorder) {
     let sk = Scalar::from_u64(0xdeadbeef);
     let pk = schnorr::public_key(&sk);
     let msg = b"leader vote statement";
@@ -39,7 +60,7 @@ fn bench_schnorr(b: &Bench) {
     });
 }
 
-fn bench_keyed_signer(b: &Bench) {
+fn bench_keyed_signer(b: &Recorder) {
     let (registry, keypairs) = Registry::generate(Scheme::Keyed, 4, 1);
     let kp: &Keypair = &keypairs[0];
     let sig = kp.sign(b"echo");
@@ -49,7 +70,7 @@ fn bench_keyed_signer(b: &Bench) {
     });
 }
 
-fn bench_combinatorics(b: &Bench) {
+fn bench_combinatorics(b: &Recorder) {
     b.run("binomial/C(1000,333)", || {
         binomial(black_box(1000), black_box(333))
     });
@@ -58,7 +79,7 @@ fn bench_combinatorics(b: &Bench) {
     });
 }
 
-fn bench_bitmap(b: &Bench) {
+fn bench_bitmap(b: &Recorder) {
     b.run("bitmap/quorum-count-150", || {
         let mut bm = Bitmap::new(150);
         for i in (0..150).step_by(2) {
@@ -68,7 +89,7 @@ fn bench_bitmap(b: &Bench) {
     });
 }
 
-fn bench_telemetry(b: &Bench) {
+fn bench_telemetry(b: &Recorder) {
     use clanbft_telemetry::{Event, Telemetry};
     use clanbft_types::Micros;
 
@@ -96,7 +117,7 @@ fn bench_telemetry(b: &Bench) {
     });
 }
 
-fn bench_dag(b: &Bench) {
+fn bench_dag(b: &Recorder) {
     let make_vertex = |round: u64, source: u32, n: u32| Vertex {
         round: Round(round),
         source: PartyId(source),
@@ -167,26 +188,60 @@ fn bench_dag(b: &Bench) {
     }
 }
 
+fn bench_profiler(b: &Recorder) {
+    // Disabled path: the permanent cost every instrumented hot-path call
+    // site pays in ordinary runs — one relaxed load and an inert guard.
+    prof::disable();
+    prof::reset();
+    b.run("profiler/scope-disabled", || {
+        let _s = prof::scope("bench.noop");
+    });
+    // Enabled path: two clock reads, an allocation snapshot and a
+    // thread-local tree touch. This bounds the per-scope overhead an
+    // instrumented run pays (the <5% whole-run bound is asserted by
+    // `examples/perf_smoke.rs` at realistic scope densities).
+    prof::enable();
+    b.run("profiler/scope-enabled", || {
+        let _s = prof::scope("bench.noop");
+    });
+    prof::disable();
+    prof::reset();
+}
+
+fn results_path() -> String {
+    format!("{}/BENCH_micro.json", env!("CARGO_MANIFEST_DIR"))
+}
+
 fn main() {
-    let bench = if clanbft_bench::full_scale() {
-        Bench::default()
+    let profile = if clanbft_bench::full_scale() {
+        "full"
     } else {
-        Bench::quick()
+        "quick"
     };
-    println!(
-        "=== substrate micro-benchmarks ({} profile) ===\n",
-        if clanbft_bench::full_scale() {
-            "full"
+    let rec = Recorder {
+        bench: if clanbft_bench::full_scale() {
+            Bench::default()
         } else {
-            "quick"
-        }
-    );
-    bench_sha256(&bench);
-    bench_prng(&bench);
-    bench_schnorr(&bench);
-    bench_keyed_signer(&bench);
-    bench_combinatorics(&bench);
-    bench_bitmap(&bench);
-    bench_telemetry(&bench);
-    bench_dag(&bench);
+            Bench::quick()
+        },
+        timings: RefCell::new(Vec::new()),
+    };
+    println!("=== substrate micro-benchmarks ({profile} profile) ===\n");
+    bench_sha256(&rec);
+    bench_prng(&rec);
+    bench_schnorr(&rec);
+    bench_keyed_signer(&rec);
+    bench_combinatorics(&rec);
+    bench_bitmap(&rec);
+    bench_telemetry(&rec);
+    bench_dag(&rec);
+    bench_profiler(&rec);
+
+    let timings = rec.timings.borrow();
+    let lines: String = timings.iter().map(|t| t.to_json(profile) + "\n").collect();
+    let path = results_path();
+    match std::fs::write(&path, &lines) {
+        Ok(()) => println!("\nmicro: {} benchmarks -> {path}", timings.len()),
+        Err(e) => eprintln!("\nmicro: failed to write {path}: {e}"),
+    }
 }

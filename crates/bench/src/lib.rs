@@ -11,11 +11,52 @@
 //! Tracing: set `CLANBFT_TRACE=path` to attach a telemetry recorder to every
 //! data point and append the NDJSON event stream to `path`.
 
+use clanbft_profiler as prof;
 use clanbft_sim::{ExperimentSpec, Proto, RunMetrics};
 use clanbft_telemetry::Telemetry;
 use std::io::Write;
 
 pub mod timing;
+
+/// Every bench binary built on this crate counts allocations per profiler
+/// scope. A final binary can hold exactly one global allocator, so this
+/// lives here (bench-only leaf) and never in the simulation libraries.
+#[global_allocator]
+static COUNTING_ALLOC: prof::CountingAlloc = prof::CountingAlloc;
+
+/// The profile destination, if `CLANBFT_PROFILE=path` was set.
+pub fn profile_path() -> Option<String> {
+    std::env::var("CLANBFT_PROFILE")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+/// Turns the hot-path profiler on when `CLANBFT_PROFILE=path` is set,
+/// discarding any stale scope data. Returns whether profiling is on.
+pub fn init_profiling() -> bool {
+    let on = profile_path().is_some();
+    if on {
+        prof::reset();
+        prof::enable();
+    }
+    on
+}
+
+/// Drains the accumulated profile and appends it to `CLANBFT_PROFILE` as
+/// NDJSON (`clanbft-inspect profile` input) plus a flamegraph
+/// collapsed-stack file at `<path>.collapsed`. No-op when `CLANBFT_PROFILE`
+/// is unset.
+pub fn finish_profiling(label: &str) {
+    let Some(path) = profile_path() else { return };
+    let report = prof::take_report();
+    prof::disable();
+    append_ndjson(&path, &report.to_ndjson(label));
+    append_ndjson(&format!("{path}.collapsed"), &report.to_collapsed());
+    println!(
+        "profile: {} scopes -> {path} (+ .collapsed)",
+        report.scopes.len()
+    );
+}
 
 /// True when the full (paper-scale) sweep was requested.
 pub fn full_scale() -> bool {
@@ -31,12 +72,21 @@ pub fn trace_path() -> Option<String> {
         .filter(|p| !p.is_empty())
 }
 
-/// Appends one NDJSON chunk to `path` (creating the file on first use).
+/// Appends one NDJSON chunk to `path`, creating the file — and any missing
+/// parent directories — on first use. Note cargo runs bench binaries with
+/// the *package* directory as cwd, so prefer absolute `CLANBFT_PROFILE` /
+/// `CLANBFT_TRACE` paths; a relative path lands under `crates/bench/`.
 pub fn append_ndjson(path: &str, chunk: &str) {
-    let res = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
+    let res = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+        })
         .and_then(|mut f| f.write_all(chunk.as_bytes()));
     if let Err(e) = res {
         eprintln!("warning: could not append trace to {path}: {e}");
@@ -72,4 +122,29 @@ pub fn fmt_point(label: &str, txs: u32, m: &RunMetrics) -> String {
         m.p99_latency.as_millis_f64(),
         m.committed_txs
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::append_ndjson;
+
+    /// A profile destination whose parent directory does not exist yet must
+    /// still be written (regression: the fig5 sweep silently dropped its
+    /// CLANBFT_PROFILE output because the target directory was missing).
+    #[test]
+    fn append_ndjson_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!(
+            "clanbft-append-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.ndjson");
+        let path = path.to_str().expect("utf-8 temp path");
+        append_ndjson(path, "{\"a\":1}\n");
+        append_ndjson(path, "{\"b\":2}\n");
+        let got = std::fs::read_to_string(path).expect("file written");
+        assert_eq!(got, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

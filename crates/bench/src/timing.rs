@@ -38,6 +38,22 @@ pub struct Timing {
 }
 
 impl Timing {
+    /// One NDJSON line for the bench trajectory file (`BENCH_micro.json`):
+    /// nanosecond statistics tagged with the harness profile that measured
+    /// them (quick vs full numbers are not comparable).
+    pub fn to_json(&self, profile: &str) -> String {
+        clanbft_telemetry::JsonObj::new()
+            .str("bench", &self.name)
+            .str("profile", profile)
+            .u64("iterations", self.iterations)
+            .u64("mean_ns", self.mean.as_nanos() as u64)
+            .u64("p50_ns", self.p50.as_nanos() as u64)
+            .u64("p99_ns", self.p99.as_nanos() as u64)
+            .u64("min_ns", self.min.as_nanos() as u64)
+            .u64("max_ns", self.max.as_nanos() as u64)
+            .finish()
+    }
+
     /// One aligned report row, nanosecond precision.
     pub fn row(&self) -> String {
         format!(
@@ -143,6 +159,13 @@ impl Bench {
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample set.
+///
+/// Small-sample behaviour (audited, pinned below): with fewer than 100
+/// samples the nearest rank `ceil(0.99·n)` equals `n`, so "p99" reports the
+/// *maximum* sample — conservative for a regression gate, but read quick
+/// profiles (≤200 samples) accordingly. `pct = 0` clamps to the minimum
+/// instead of underflowing rank 0, mirroring the `metrics::percentile`
+/// q = 0 fix.
 fn percentile(sorted: &[Duration], pct: u32) -> Duration {
     assert!(!sorted.is_empty() && pct <= 100);
     let rank = (pct as usize * sorted.len()).div_ceil(100);
@@ -186,6 +209,48 @@ mod tests {
             percentile(&[Duration::from_millis(7)], 99),
             Duration::from_millis(7)
         );
+    }
+
+    #[test]
+    fn percentile_small_sample_counts_clamp_to_extremes() {
+        let d = Duration::from_millis;
+        // Below 100 samples, nearest-rank p99 is the maximum sample:
+        // ceil(0.99·n) = n for every n < 100.
+        for n in [1u64, 2, 3, 5, 10, 50, 99] {
+            let s: Vec<Duration> = (1..=n).map(d).collect();
+            assert_eq!(percentile(&s, 99), d(n), "p99 of {n} samples");
+        }
+        // 100 samples: rank ceil(99) = 99 — first time p99 < max.
+        let s: Vec<Duration> = (1..=100).map(d).collect();
+        assert_eq!(percentile(&s, 99), d(99));
+        // p0 clamps rank 0 to the minimum instead of panicking.
+        assert_eq!(percentile(&s, 0), d(1));
+        assert_eq!(percentile(&[d(42)], 0), d(42));
+        // Even-count median picks the lower middle (rank ceil(n/2)).
+        let s: Vec<Duration> = (1..=4).map(d).collect();
+        assert_eq!(percentile(&s, 50), d(2));
+        // Tiny counts: p50 of 2 is the first sample, of 3 the middle one.
+        assert_eq!(percentile(&(1..=2).map(d).collect::<Vec<_>>(), 50), d(1));
+        assert_eq!(percentile(&(1..=3).map(d).collect::<Vec<_>>(), 50), d(2));
+    }
+
+    #[test]
+    fn timing_json_line_has_the_trajectory_fields() {
+        let t = Timing {
+            name: "unit/check".into(),
+            iterations: 42,
+            mean: Duration::from_nanos(1500),
+            p50: Duration::from_nanos(1400),
+            p99: Duration::from_nanos(2100),
+            min: Duration::from_nanos(1300),
+            max: Duration::from_nanos(2200),
+        };
+        let line = t.to_json("quick");
+        assert!(line.contains("\"bench\":\"unit/check\""));
+        assert!(line.contains("\"profile\":\"quick\""));
+        assert!(line.contains("\"mean_ns\":1500"));
+        assert!(line.contains("\"p50_ns\":1400"));
+        assert!(line.contains("\"p99_ns\":2100"));
     }
 
     #[test]

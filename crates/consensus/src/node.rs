@@ -284,6 +284,7 @@ impl SailfishNode {
     // --- proposing ---------------------------------------------------------
 
     fn build_block(&mut self, round: Round, now: Micros) -> Block {
+        let _prof = clanbft_profiler::scope("consensus.build_block");
         if self.stopped_proposing {
             return Block::empty(self.cfg.me, round);
         }
@@ -314,6 +315,7 @@ impl SailfishNode {
     }
 
     fn propose(&mut self, round: Round, fx: &mut Effects<MergedPayload>, now: Micros) {
+        let _prof = clanbft_profiler::scope("consensus.propose");
         if let Some(max) = self.cfg.max_round {
             if round.0 > max {
                 self.stopped_proposing = true;
@@ -415,6 +417,7 @@ impl SailfishNode {
         now: Micros,
         out: &mut Vec<ConsensusMsg>,
     ) {
+        let _prof = clanbft_profiler::scope("consensus.process_vertex");
         let vref = vertex.reference();
         if self.accepted.contains_key(&vref) || vref.round < self.dag.horizon() {
             return;
@@ -549,6 +552,7 @@ impl SailfishNode {
     // --- commit and ordering -----------------------------------------------
 
     fn try_commit(&mut self, round: Round, now: Micros) {
+        let _prof = clanbft_profiler::scope("consensus.try_commit");
         if self.last_committed.is_some_and(|lc| round <= lc) {
             return;
         }
@@ -782,6 +786,7 @@ impl SailfishNode {
         sig: clanbft_crypto::Signature,
         ctx: &mut Ctx<ConsensusMsg>,
     ) {
+        let _prof = clanbft_profiler::scope("consensus.vote");
         if !self.admit_round(round) {
             return;
         }
@@ -834,6 +839,7 @@ impl SailfishNode {
         no_vote_sig: clanbft_crypto::Signature,
         ctx: &mut Ctx<ConsensusMsg>,
     ) {
+        let _prof = clanbft_profiler::scope("consensus.timeout");
         if !self.admit_round(round) {
             return;
         }

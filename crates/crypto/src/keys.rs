@@ -83,6 +83,7 @@ impl Keypair {
 
     /// Signs a message under this keypair's scheme.
     pub fn sign(&self, msg: &[u8]) -> Signature {
+        let _prof = clanbft_profiler::scope("crypto.sign");
         match self.scheme {
             Scheme::Schnorr => {
                 let sk = Scalar::from_be_bytes_reduce(&self.secret.0);
@@ -173,6 +174,7 @@ impl Registry {
 
     /// Verifies `sig` over `msg` as coming from party `signer`.
     pub fn verify(&self, signer: usize, msg: &[u8], sig: &Signature) -> bool {
+        let _prof = clanbft_profiler::scope("crypto.verify");
         if signer >= self.publics.len() {
             return false;
         }

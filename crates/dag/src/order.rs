@@ -27,6 +27,7 @@ pub fn commit_chain(
     new_leader: VertexRef,
     leader_at: impl Fn(Round) -> PartyId,
 ) -> Vec<VertexRef> {
+    let _prof = clanbft_profiler::scope("dag.commit_chain");
     let mut chain = vec![new_leader];
     let mut head = new_leader;
     let floor = last_committed.map(|r| r.0 + 1).unwrap_or(dag.horizon().0);
@@ -50,6 +51,7 @@ pub fn commit_chain(
 /// (oldest first), its not-yet-ordered causal history in deterministic
 /// `(round, source)` order.
 pub fn causal_order(dag: &mut Dag, chain: &[VertexRef]) -> Vec<VertexRef> {
+    let _prof = clanbft_profiler::scope("dag.causal_order");
     let mut out = Vec::new();
     for leader in chain {
         out.extend(dag.take_causal_history(leader));

@@ -101,6 +101,7 @@ impl Dag {
     /// offered one plus any pending descendants it unblocked), or whether it
     /// was buffered / a duplicate.
     pub fn insert(&mut self, vertex: Vertex) -> InsertOutcome {
+        let _prof = clanbft_profiler::scope("dag.insert");
         let vref = vertex.reference();
         if self.contains(&vref) || self.pending.contains_key(&vref) {
             return InsertOutcome::Duplicate;

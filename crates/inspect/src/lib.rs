@@ -16,6 +16,10 @@
 //!   ([`dot()`], [`ascii()`]).
 //! * [`diff`] — two-run comparison with per-stage regression ratios and a
 //!   verdict naming the dominant one ([`diff()`]).
+//! * [`perf`] — performance-profile views over `clanbft_profiler` NDJSON:
+//!   hot-scope table, scope tree, allocation table, and a two-profile diff
+//!   with % deltas and a regression verdict ([`profile_report`],
+//!   [`profile_diff`]).
 //! * [`check`] — the CI gate: sequence contiguity, agreement, stage
 //!   ordering, span completeness, evidence attribution ([`check()`]).
 //!
@@ -28,6 +32,7 @@ pub mod dot;
 pub mod health;
 pub mod incident;
 pub mod parse;
+pub mod perf;
 pub mod waterfall;
 
 pub use check::{check, check_report, COMPLETENESS_MARGIN};
@@ -36,4 +41,7 @@ pub use dot::{ascii, dot, parse_round_range};
 pub use health::{health_report, round_health, RoundHealth};
 pub use incident::{incident_report, incidents, Incident};
 pub use parse::{parse_trace, RunMeta, Trace};
+pub use perf::{
+    parse_profile, parse_profiles, profile_diff, profile_report, PerfProfile, PerfScope,
+};
 pub use waterfall::{estimate_delta, waterfall};

@@ -8,6 +8,8 @@
 //! clanbft-inspect ascii     <trace> [--rounds a..b]   ASCII DAG rendering
 //! clanbft-inspect diff      <baseline> <candidate>    per-stage regression report
 //! clanbft-inspect check     <trace>           invariant gate (exit 1 on violation)
+//! clanbft-inspect profile   <profile>         hot scopes + tree + allocation tables
+//! clanbft-inspect profile --diff <base> <cand> [--threshold pct]   perf regression verdict
 //! ```
 //!
 //! `--check` is accepted as an alias for the `check` subcommand so the
@@ -15,15 +17,16 @@
 //! from stdin.
 
 use clanbft_inspect::{
-    ascii, check_report, diff, dot, health_report, incident_report, parse_round_range, parse_trace,
-    waterfall, Trace,
+    ascii, check_report, diff, dot, health_report, incident_report, parse_profile,
+    parse_round_range, parse_trace, profile_diff, profile_report, waterfall, PerfProfile, Trace,
 };
 use std::io::Read as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: clanbft-inspect <waterfall|health|incidents|dot|ascii|check> <trace> \
                      [--rounds a..b]\n       clanbft-inspect diff <baseline> <candidate>\n       \
-                     (a trace path of '-' reads stdin)";
+                     clanbft-inspect profile <profile> | profile --diff <base> <cand> \
+                     [--threshold pct]\n       (a trace path of '-' reads stdin)";
 
 fn load(path: &str) -> Result<Trace, String> {
     let text = if path == "-" {
@@ -43,6 +46,22 @@ fn load(path: &str) -> Result<Trace, String> {
         );
     }
     Ok(trace)
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn load_profile(path: &str) -> Result<PerfProfile, String> {
+    parse_profile(&read_input(path)?).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -85,6 +104,35 @@ fn run() -> Result<ExitCode, String> {
                 print!("{}", dot(&trace, from, to));
             } else {
                 print!("{}", ascii(&trace, from, to));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "profile" => {
+            match args.get(1).map(String::as_str) {
+                Some("--diff") => {
+                    let a = args.get(2).ok_or(USAGE)?;
+                    let b = args.get(3).ok_or(USAGE)?;
+                    if a == "-" && b == "-" {
+                        return Err("profile --diff can read at most one file from stdin".into());
+                    }
+                    let threshold = match args.get(4).map(String::as_str) {
+                        Some("--threshold") => {
+                            let t = args.get(5).ok_or("--threshold needs a percentage")?;
+                            t.parse::<f64>()
+                                .map_err(|e| format!("bad threshold {t:?}: {e}"))?
+                        }
+                        Some(other) => return Err(format!("unknown option {other:?}\n{USAGE}")),
+                        None => 20.0,
+                    };
+                    let pa = load_profile(a)?;
+                    let pb = load_profile(b)?;
+                    // The verdict line is informational: host-load noise
+                    // must not fail a build on its own, so gates grep for
+                    // "verdict:" instead of relying on the exit code.
+                    print!("{}", profile_diff(&pa, &pb, threshold));
+                }
+                Some(path) => print!("{}", profile_report(&load_profile(path)?)),
+                None => return Err(USAGE.to_string()),
             }
             Ok(ExitCode::SUCCESS)
         }

@@ -152,6 +152,7 @@ pub struct BatchPlan {
 /// that leaves more runs than allowed, adjacent same-size runs are merged
 /// (earliest arrival stamp wins, biasing measured latency pessimistically).
 pub fn plan_batches(pulled: &[PendingTx], max_batches: usize) -> Vec<BatchPlan> {
+    let _prof = clanbft_profiler::scope("mempool.plan_batches");
     let mut plans: Vec<BatchPlan> = Vec::new();
     for tx in pulled {
         match plans.last_mut() {
@@ -266,6 +267,7 @@ impl ClientIngress {
     /// them. `round` is the proposer's current round, used only to stop
     /// generation at the workload's configured stop round.
     pub fn poll(&mut self, from: Micros, to: Micros, round: u64) {
+        let _prof = clanbft_profiler::scope("mempool.poll");
         match self.workload {
             WorkloadSpec::Synthetic { txs_per_proposal } => {
                 self.poll_synthetic(from, to, txs_per_proposal);
@@ -306,6 +308,7 @@ impl ClientIngress {
     /// that many transactions, and returns them. The synthetic workload
     /// bypasses the sizer and drains everything (fixed-size proposals).
     pub fn pull(&mut self, now: Micros, gap_since_last: Micros) -> &[PendingTx] {
+        let _prof = clanbft_profiler::scope("mempool.pull");
         let depth = self.pool.depth();
         let chosen = match self.workload {
             WorkloadSpec::Synthetic { .. } => depth,
@@ -380,6 +383,10 @@ impl ClientIngress {
     /// delay averages half the gap, exactly as the old in-node generator
     /// stamped its sub-batches).
     fn poll_synthetic(&mut self, from: Micros, to: Micros, t: u32) {
+        // Batch-granularity scope: one entry per poll covers the whole
+        // admission loop (scoping `Mempool::admit` itself would cost more
+        // than the admission it measures).
+        let _prof = clanbft_profiler::scope("mempool.admit");
         let gap = to.saturating_sub(from);
         let base = t / SYNTHETIC_QUARTERS;
         let rem = t % SYNTHETIC_QUARTERS;
@@ -399,6 +406,8 @@ impl ClientIngress {
     /// exactly. Clients are drawn Zipf-skewed; 10% of traffic rides the
     /// high-priority lane and 10% the low lane.
     fn poll_open_loop(&mut self, from: Micros, to: Micros, rate_tps: f64) {
+        // Batch-granularity scope, mirroring `poll_synthetic`.
+        let _prof = clanbft_profiler::scope("mempool.admit");
         let span = to.saturating_sub(from);
         let want = rate_tps * span.as_secs_f64() + self.carry;
         let n = want.floor() as u64;

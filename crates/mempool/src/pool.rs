@@ -171,6 +171,11 @@ impl Mempool {
     }
 
     /// Admits one submission at time `now`, or rejects it with backpressure.
+    ///
+    /// Deliberately *not* wrapped in a profiler scope: admission runs per
+    /// transaction, and a scope here would cost more than the work it
+    /// measures. The load generator scopes its admission loops instead
+    /// (`mempool.admit` at batch granularity in `loadgen`).
     pub fn admit(&mut self, sub: Submission, now: Micros) -> Result<(), AdmitError> {
         let expected = self.next_seq.get(&sub.client.0).copied();
         if expected.is_none() && self.next_seq.len() >= self.cfg.max_clients {

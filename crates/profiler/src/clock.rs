@@ -1,0 +1,85 @@
+//! The profiler's time source: raw TSC ticks, calibrated to nanoseconds
+//! once per report.
+//!
+//! `Instant::now` costs two-digit nanoseconds per read even via the vDSO
+//! (and ~100 ns when the host makes it a real syscall) — too much for a
+//! scope that may enclose only a few hundred nanoseconds of work. On
+//! x86_64 the invariant TSC is monotonic, constant-rate, and readable in a
+//! handful of cycles, so scopes record *ticks* and the conversion to
+//! nanoseconds happens once, at [`take_report`](crate::take_report) time:
+//!
+//! * [`enable`](crate::enable) stamps a `(Instant, ticks)` calibration
+//!   origin.
+//! * [`calibrate`] re-stamps both clocks and derives ns-per-tick from the
+//!   shared wall interval — the longer the run, the tighter the ratio.
+//!
+//! Non-x86_64 targets fall back to `Instant`-derived nanoseconds (ratio
+//! ~1.0); everything downstream is agnostic to which source produced the
+//! ticks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Calibration origin: wall clock and tick counter sampled together at
+/// [`mark_origin`] (i.e. at `enable()`).
+static ORIGIN: Mutex<Option<(Instant, u64)>> = Mutex::new(None);
+
+/// Nanoseconds per tick as `f64` bits; `0` means "not yet calibrated",
+/// read as 1.0.
+static NS_PER_TICK: AtomicU64 = AtomicU64::new(0);
+
+/// Current tick count. x86_64: raw `rdtsc` (~5–10 ns). The invariant TSC
+/// (every x86_64 CPU this crate will meet) is constant-rate and synchronized
+/// across cores, so cross-core scheduling does not reorder it.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub(crate) fn now_ticks() -> u64 {
+    // SAFETY: `rdtsc` is unprivileged, has no memory effects, and exists on
+    // every x86_64 CPU.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Current tick count, fallback: monotonic nanoseconds since first use
+/// (ns-per-tick calibrates to ~1.0).
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn now_ticks() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Stamp the calibration origin (called by `enable()`).
+pub(crate) fn mark_origin() {
+    *ORIGIN.lock().expect("clock origin lock") = Some((Instant::now(), now_ticks()));
+}
+
+/// Refresh the ns-per-tick ratio from the span since [`mark_origin`] and
+/// return it. Falls back to the previous ratio (or 1.0) when the span is
+/// too short to divide meaningfully.
+pub(crate) fn calibrate() -> f64 {
+    let origin = *ORIGIN.lock().expect("clock origin lock");
+    if let Some((t0, k0)) = origin {
+        let ns = t0.elapsed().as_nanos() as f64;
+        let ticks = now_ticks().wrapping_sub(k0) as f64;
+        if ticks >= 1.0 && ns > 0.0 {
+            let ratio = ns / ticks;
+            NS_PER_TICK.store(ratio.to_bits(), Ordering::Relaxed);
+            return ratio;
+        }
+    }
+    ns_per_tick()
+}
+
+/// The last calibrated ratio (1.0 before any calibration).
+pub(crate) fn ns_per_tick() -> f64 {
+    match NS_PER_TICK.load(Ordering::Relaxed) {
+        0 => 1.0,
+        bits => f64::from_bits(bits),
+    }
+}
+
+/// Convert a tick span to nanoseconds with the given ratio.
+pub(crate) fn ticks_to_ns(ticks: u64, ratio: f64) -> u64 {
+    (ticks as f64 * ratio) as u64
+}

@@ -1109,6 +1109,7 @@ impl<P: TribePayload> Core<P> {
     /// re-arm with exponential backoff. A withholding first target
     /// therefore stalls delivery by at most one deadline.
     pub(crate) fn on_retry(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
+        let _prof = clanbft_profiler::scope("rbc.retry");
         let me = self.cfg.me;
         let tel = self.cfg.telemetry.clone();
         let base = self.cfg.pull_retry;

@@ -55,6 +55,7 @@ impl<P: TribePayload> TribeRbc2<P> {
     /// `r_bcast`: disseminates `payload` as this party's broadcast for
     /// `round`.
     pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
+        let _prof = clanbft_profiler::scope("rbc.broadcast");
         self.core.note_round(round);
         let me = self.core.cfg.me;
         let topo = self.core.cfg.topology.clone();
@@ -82,6 +83,7 @@ impl<P: TribePayload> TribeRbc2<P> {
 
     /// Handles one received packet.
     pub fn handle(&mut self, from: PartyId, packet: RbcPacket<P>, fx: &mut Effects<P>) {
+        let _prof = clanbft_profiler::scope("rbc.handle");
         let RbcPacket { source, round, msg } = packet;
         // Bounded buffering: stale (below prune horizon) and far-future
         // rounds are rejected before any state is allocated.

@@ -119,15 +119,20 @@ impl ExperimentSpec {
         let mut spec = self.tribe_spec();
         spec.telemetry = telemetry;
         let mut built = build_tribe(&spec);
-        // Generous wall-clock bound; benign runs drain far earlier because
-        // proposing stops at `rounds`.
+        // Generous simulated-time bound; benign runs drain far earlier
+        // because proposing stops at `rounds`.
+        let wall_start = std::time::Instant::now();
         built.sim.run_until(Micros::from_secs(3_000));
-        collect_metrics(
+        let wall = wall_start.elapsed();
+        let sim_span = built.sim.stats().last_event_at;
+        let mut m = collect_metrics(
             &built.sim,
             &built.honest,
             self.warmup_rounds,
             self.rounds.saturating_sub(self.cooldown_rounds),
-        )
+        );
+        m.attach_host_costs(wall, sim_span);
+        m
     }
 }
 

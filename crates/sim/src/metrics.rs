@@ -41,6 +41,17 @@ pub struct RunMetrics {
     pub batch_p99: u64,
     /// Largest proposal in the window, in transactions.
     pub batch_max: u64,
+    /// Events the simulator popped over the whole run (deliveries +
+    /// timers). The numerator of `sim_events_per_sec`.
+    pub sim_events: u64,
+    /// Host wall-clock microseconds the event loop took (ROADMAP item 2's
+    /// scaling cost; zero until [`RunMetrics::attach_host_costs`] runs).
+    pub wall_us: u64,
+    /// Simulator events processed per host wall second.
+    pub sim_events_per_sec: f64,
+    /// Host wall microseconds per simulated second — how much slower (or
+    /// faster) than real time the simulation runs.
+    pub wall_us_per_sim_sec: f64,
 }
 
 impl RunMetrics {
@@ -59,7 +70,30 @@ impl RunMetrics {
             .u64("batch_p50", self.batch_p50)
             .u64("batch_p99", self.batch_p99)
             .u64("batch_max", self.batch_max)
+            .u64("sim_events", self.sim_events)
+            .u64("wall_us", self.wall_us)
+            .f64("sim_events_per_sec", self.sim_events_per_sec)
+            .f64("wall_us_per_sim_sec", self.wall_us_per_sim_sec)
             .finish()
+    }
+
+    /// Fills the host-side rate metrics from the measured wall-clock time of
+    /// the event loop and the simulated span it covered (the last event's
+    /// timestamp — `run_until` clamps `now` to its deadline, which would
+    /// understate the rate for runs that drain early).
+    pub fn attach_host_costs(&mut self, wall: std::time::Duration, sim_span: Micros) {
+        self.wall_us = wall.as_micros() as u64;
+        let wall_secs = wall.as_secs_f64();
+        self.sim_events_per_sec = if wall_secs > 0.0 {
+            self.sim_events as f64 / wall_secs
+        } else {
+            0.0
+        };
+        self.wall_us_per_sim_sec = if sim_span > Micros::ZERO {
+            self.wall_us as f64 / sim_span.as_secs_f64()
+        } else {
+            0.0
+        };
     }
 }
 
@@ -73,6 +107,7 @@ pub fn collect_metrics(
     warmup_rounds: u64,
     last_round: u64,
 ) -> RunMetrics {
+    let _prof = clanbft_profiler::scope("sim.collect_metrics");
     assert!(!honest.is_empty(), "need at least one honest node");
 
     // Commit-everywhere time per vertex: max over honest nodes, only for
@@ -158,6 +193,10 @@ pub fn collect_metrics(
         batch_p50,
         batch_p99,
         batch_max,
+        sim_events: sim.stats().handled_events,
+        wall_us: 0,
+        sim_events_per_sec: 0.0,
+        wall_us_per_sim_sec: 0.0,
     }
 }
 
@@ -225,7 +264,13 @@ mod tests {
             batch_p50: 3,
             batch_p99: 4,
             batch_max: 4,
+            sim_events: 5000,
+            wall_us: 0,
+            sim_events_per_sec: 0.0,
+            wall_us_per_sim_sec: 0.0,
         };
+        let mut m = m;
+        m.attach_host_costs(std::time::Duration::from_millis(250), Micros::from_secs(2));
         let line = m.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"committed_txs\":10"));
@@ -235,5 +280,10 @@ mod tests {
         assert!(line.contains("\"proposals\":4"));
         assert!(line.contains("\"batch_p50\":3"));
         assert!(line.contains("\"batch_max\":4"));
+        assert!(line.contains("\"sim_events\":5000"));
+        assert!(line.contains("\"wall_us\":250000"));
+        // 5000 events / 0.25 s and 250 ms / 2 simulated seconds.
+        assert!(line.contains("\"sim_events_per_sec\":20000"));
+        assert!(line.contains("\"wall_us_per_sim_sec\":125000"));
     }
 }

@@ -15,6 +15,7 @@ use crate::event::EventQueue;
 use crate::protocol::{Ctx, Message, Protocol};
 use crate::regions::LatencyMatrix;
 use clanbft_crypto::ClanRng;
+use clanbft_profiler as prof;
 use clanbft_telemetry::{Event, Telemetry};
 use clanbft_types::{Micros, PartyId};
 use std::collections::BTreeMap;
@@ -120,6 +121,13 @@ pub struct NetStats {
     pub partitioned_msgs: u64,
     /// Wire bytes per [`Message::kind`] label, across all senders.
     pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Events popped off the queue (deliveries + timers, dropped ones
+    /// included). The numerator of the `sim_events_per_sec` host metric.
+    pub handled_events: u64,
+    /// Simulated timestamp of the last popped event. `run_until` clamps
+    /// `now` to its deadline even when the queue drained long before, so
+    /// rate metrics divide by this actually-busy span instead.
+    pub last_event_at: Micros,
 }
 
 impl NetStats {
@@ -255,8 +263,14 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
             Some(e) => e,
         };
         self.now = at;
+        self.stats.handled_events += 1;
+        self.stats.last_event_at = at;
         match *ev {
             SimEvent::Deliver { src, dst, msg } => {
+                // No per-delivery scope: delivery happens millions of times
+                // per run and even a cheap scope would dominate its cost.
+                // The run loop (`sim.run` in `run_until`) owns dispatch
+                // time; nested stages (rbc, consensus, …) carve out theirs.
                 if self.crashed(dst, at) {
                     self.drop_msg(src, dst, &msg, at);
                     return true;
@@ -271,6 +285,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
                 self.absorb(dst, ctx);
             }
             SimEvent::Timer { node, token } => {
+                let _prof = prof::scope("sim.timer");
                 if self.crashed(node, at) {
                     return true;
                 }
@@ -287,6 +302,11 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
 
     /// Runs until the queue drains or simulated time exceeds `deadline`.
     pub fn run_until(&mut self, deadline: Micros) {
+        // One scope for the whole drive loop: every nested stage (rbc,
+        // consensus, dag, …) lands under `sim.run`, and its *self* time is
+        // exactly the dispatch machinery (queue pops, crash checks, message
+        // fan-out) that has no finer-grained scope of its own.
+        let _prof = prof::scope("sim.run");
         if !self.started {
             self.start();
         }
@@ -303,6 +323,7 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
 
     /// Runs until the event queue is fully drained (benign finite runs).
     pub fn run_to_quiescence(&mut self) {
+        let _prof = prof::scope("sim.run");
         if !self.started {
             self.start();
         }

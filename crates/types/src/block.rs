@@ -58,6 +58,7 @@ impl Block {
     /// sequence range, sizes, timestamp); for real batches it also binds the
     /// payload bytes.
     pub fn digest(&self) -> Digest {
+        let _prof = clanbft_profiler::scope("codec.block_digest");
         let mut h = Hasher::new("clanbft/block");
         h.update_u64(self.proposer.0 as u64);
         h.update_u64(self.round.0);
@@ -81,6 +82,7 @@ impl Block {
 
 impl Encode for Block {
     fn encode(&self, w: &mut Writer) {
+        let _prof = clanbft_profiler::scope("codec.block_encode");
         self.proposer.encode(w);
         self.round.encode(w);
         self.batches.encode(w);
@@ -93,6 +95,7 @@ impl Encode for Block {
 
 impl Decode for Block {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let _prof = clanbft_profiler::scope("codec.block_decode");
         Ok(Block {
             proposer: PartyId::decode(r)?,
             round: Round::decode(r)?,

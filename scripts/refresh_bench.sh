@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench-trajectory artifacts. Run on a quiet host
+# from the repository root, then commit the changed files:
+#
+#   BENCH_summary.json                    fig5 headline points (+ host rates)
+#   crates/bench/BENCH_micro.json         micro-bench trajectory (NDJSON)
+#   crates/bench/BENCH_perf_baseline.json perf_smoke pinned baseline
+#   crates/bench/BENCH_fig5.json          full sweep history (append-only)
+#
+# Environment:
+#   CLANBFT_FULL=1       run the paper's full fig5 load grid (hours, not
+#                        minutes) and the full micro profile
+#   CLANBFT_PROFILE=path also capture a fig5 stage profile (NDJSON +
+#                        collapsed stacks) at `path`; use an absolute path
+#                        (cargo runs bench binaries from the package dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release --offline
+cargo build --release --offline --examples -p clanbft-sim
+
+echo "== perf_smoke: refresh the pinned profiler baseline"
+# Re-measures the pinned workload and rewrites BENCH_perf_baseline.json:
+# deterministic facts (committed txs, sim events, distinct scopes) exactly,
+# wall times as this host measured them.
+cargo run --release --offline -p clanbft-sim --example perf_smoke -- \
+    target/perf-smoke --write-baseline
+
+echo "== micro benches: rewrite BENCH_micro.json"
+cargo bench -q --offline -p clanbft-bench --bench micro
+
+echo "== fig5 sweep: rewrite BENCH_summary.json (this is the slow part)"
+# Default profile: the reduced load grid, minutes. The sweep appends every
+# point to BENCH_fig5.json and truncate-writes the repo-root summary with
+# the best-throughput headline per (figure section, protocol), including
+# the host-cost rates (sim_events_per_sec, wall_us_per_sim_sec).
+cargo bench -q --offline -p clanbft-bench --bench fig5_throughput_latency
+
+echo
+echo "refresh_bench: done — review and commit:"
+git status --short BENCH_summary.json crates/bench/BENCH_*.json

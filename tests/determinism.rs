@@ -191,3 +191,52 @@ fn different_seeds_change_the_run() {
         |runs: &Vec<CommitTrace>| -> Vec<u64> { runs.iter().flatten().map(|t| t.4).collect() };
     assert_ne!(flat(&a), flat(&b), "seed change had no observable effect");
 }
+
+/// One profiled run's `(scope path, call count)` vector.
+fn run_profiled_counts(seed: u64) -> Vec<(String, u64)> {
+    clanbft_profiler::reset();
+    clanbft_profiler::enable();
+    let _ = run_single_clan(seed);
+    let report = clanbft_profiler::take_report();
+    clanbft_profiler::disable();
+    report.counts()
+}
+
+#[test]
+fn same_seed_runs_profile_identical_scope_counts() {
+    // Scope *counts* are part of the deterministic surface: the profiler
+    // hooks sit on the hot path (simulator dispatch, rbc, consensus, dag,
+    // crypto, mempool), so two same-seed runs must enter every scope path
+    // exactly the same number of times. Times vary with the host; the tree
+    // shape and call counts must not. A divergence here means either hidden
+    // nondeterminism in the stack or a profiler hook inside a
+    // host-dependent branch.
+    let first = run_profiled_counts(42);
+    let second = run_profiled_counts(42);
+    assert!(
+        first.iter().map(|(_, c)| c).sum::<u64>() > 0,
+        "profiled run recorded no scope entries"
+    );
+    assert_eq!(
+        first, second,
+        "scope counts diverged between same-seed runs"
+    );
+
+    // The pipeline stages the profile must name (paths may deepen as
+    // instrumentation grows; these stage names are load-bearing).
+    let names: std::collections::BTreeSet<&str> =
+        first.iter().flat_map(|(p, _)| p.split(';')).collect();
+    for stage in [
+        "sim.run",
+        "rbc.handle",
+        "consensus.process_vertex",
+        "dag.insert",
+        "crypto.sign",
+        "mempool.plan_batches",
+    ] {
+        assert!(
+            names.contains(stage),
+            "stage {stage:?} missing from profile"
+        );
+    }
+}
