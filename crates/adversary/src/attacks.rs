@@ -343,6 +343,11 @@ impl Behavior<ConsensusMsg> for SigMutator {
                 timeout_sig: flip(&timeout_sig),
                 no_vote_sig: flip(&no_vote_sig),
             },
+            // State transfer carries no signatures of its own: the requester
+            // cross-checks responses against `f+1` peers instead.
+            other @ (ConsensusMsg::StateRequest { .. }
+            | ConsensusMsg::StateSnapshot { .. }
+            | ConsensusMsg::StateChunk { .. }) => other,
         };
         emit(to, mutated);
     }

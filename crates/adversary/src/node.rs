@@ -121,4 +121,14 @@ impl<M: Message, P: Protocol<M>> Protocol<M> for AdversaryNode<M, P> {
             self.intercepted(ctx, |inner, scratch| inner.on_timer(token, scratch));
         }
     }
+
+    // The trait default is a no-op; an explicit forward is required or a
+    // wrapped node would never see its restart.
+    fn on_restart(&mut self, ctx: &mut Ctx<M>) {
+        if self.behavior.is_none() {
+            self.inner.on_restart(ctx);
+        } else {
+            self.intercepted(ctx, |inner, scratch| inner.on_restart(scratch));
+        }
+    }
 }

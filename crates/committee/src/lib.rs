@@ -18,9 +18,11 @@ pub mod binomial;
 pub mod election;
 pub mod hypergeom;
 pub mod multiclan;
+pub mod rotation;
 pub mod sizing;
 
 pub use election::ClanAssignment;
 pub use hypergeom::dishonest_majority_prob;
 pub use multiclan::partition_dishonest_prob;
+pub use rotation::{rotate_single_clan, Rotation};
 pub use sizing::min_clan_size;

@@ -57,6 +57,24 @@ pub struct NodeConfig {
     pub pull_retry: Micros,
     /// Telemetry sink, shared with the RBC engine (disabled by default).
     pub telemetry: Telemetry,
+    /// Durable storage directory for the WAL + checkpoints. `None` (the
+    /// default) runs the node memory-only: it cannot survive a restart.
+    pub storage_dir: Option<std::path::PathBuf>,
+    /// Whether WAL appends fsync before the write is considered durable.
+    /// Tests that only exercise logical recovery may turn this off.
+    pub fsync: bool,
+    /// Install a checkpoint (and rotate the WAL) every this many committed
+    /// leader sequences.
+    pub checkpoint_interval: u64,
+    /// How far behind the tribe's observed round frontier this party may
+    /// fall before requesting a peer state transfer after a restart.
+    pub catchup_rounds: u64,
+    /// Rounds per epoch for clan rotation (`None` = never rotate).
+    pub epoch_length: Option<u64>,
+    /// A clan member whose last committed vertex is more than this many
+    /// rounds behind the epoch decision boundary is voted dead at the next
+    /// rotation.
+    pub rotation_miss_k: u64,
 }
 
 impl NodeConfig {
@@ -84,6 +102,12 @@ impl NodeConfig {
             round_window: 256,
             pull_retry: Micros::from_millis(500),
             telemetry: Telemetry::null(),
+            storage_dir: None,
+            fsync: true,
+            checkpoint_interval: 8,
+            catchup_rounds: 8,
+            epoch_length: None,
+            rotation_miss_k: 4,
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod execution;
 pub mod messages;
 pub mod node;
 pub mod payload;
+pub mod recovery;
 pub mod schedule;
 pub mod strawman;
 pub mod trackers;

@@ -52,6 +52,9 @@ pub struct CommittedVertex {
     pub block_tx_count: u64,
     /// When this node committed it.
     pub committed_at: Micros,
+    /// The leader round whose commit swept this vertex in (needed to serve
+    /// the committed-order suffix during peer state transfer).
+    pub leader_round: Round,
 }
 
 /// Batch metadata remembered at proposal time, for latency metrics.
@@ -67,43 +70,46 @@ pub struct ProposedBatch {
 
 /// At most this many evidence records are retained per node — enough for
 /// any audit while bounding what an equivocation storm can allocate.
-const EVIDENCE_CAP: usize = 256;
+pub(crate) const EVIDENCE_CAP: usize = 256;
 
 /// The Sailfish / single-clan / multi-clan node.
+///
+/// Fields are `pub(crate)` where the recovery layer ([`crate::recovery`])
+/// rebuilds or serves them.
 pub struct SailfishNode {
-    cfg: NodeConfig,
-    schedule: LeaderSchedule,
-    auth: Arc<Authenticator>,
-    rbc: TribeRbc2<MergedPayload>,
-    dag: Dag,
+    pub(crate) cfg: NodeConfig,
+    pub(crate) schedule: LeaderSchedule,
+    pub(crate) auth: Arc<Authenticator>,
+    pub(crate) rbc: TribeRbc2<MergedPayload>,
+    pub(crate) dag: Dag,
     votes: VoteTracker,
     timeouts: TimeoutTracker,
 
-    current_round: Round,
-    stopped_proposing: bool,
+    pub(crate) current_round: Round,
+    pub(crate) stopped_proposing: bool,
     /// Rounds this node voted in (leader vertex delivered in time).
-    voted: HashSet<Round>,
+    pub(crate) voted: HashSet<Round>,
     /// Rounds this node announced a timeout for (mutually exclusive with
     /// voting — the quorum-intersection hinge of commit safety).
-    no_voted: HashSet<Round>,
+    pub(crate) no_voted: HashSet<Round>,
     /// Certificates assembled from 2f+1 timeout announcements.
-    certs_formed: HashMap<Round, (TimeoutCert, NoVoteCert)>,
+    pub(crate) certs_formed: HashMap<Round, (TimeoutCert, NoVoteCert)>,
 
     /// Misbehaviour proof records observed by this node (capped).
-    evidence: Vec<Evidence>,
+    pub(crate) evidence: Vec<Evidence>,
     /// `(round, culprit)` pairs already evidenced — one record per pair.
-    evidence_keys: HashSet<(Round, PartyId)>,
+    pub(crate) evidence_keys: HashSet<(Round, PartyId)>,
 
     /// Vertices validated and accepted (pre- or post-DAG-liveness), with
     /// their content ids cached (vertex hashing is hot at scale).
-    accepted: HashMap<VertexRef, (Arc<Vertex>, Digest)>,
+    pub(crate) accepted: HashMap<VertexRef, (Arc<Vertex>, Digest)>,
     /// Full blocks held (clan member for the proposer, or own proposals).
-    blocks: HashMap<VertexRef, Arc<Block>>,
+    pub(crate) blocks: HashMap<VertexRef, Arc<Block>>,
     /// Live vertices that arrived after their round passed — weak-edge
     /// candidates for the next proposal.
     late_arrivals: BTreeSet<VertexRef>,
 
-    last_committed: Option<Round>,
+    pub(crate) last_committed: Option<Round>,
     /// The emitted total order.
     pub committed_log: Vec<CommittedVertex>,
     /// Proposal-time batch metadata (for the metrics layer).
@@ -117,10 +123,38 @@ pub struct SailfishNode {
 
     /// Client ingress: workload generator, bounded mempool and dynamic
     /// batch sizer (`None` for non-proposers and zero-workload runs).
-    ingress: Option<ClientIngress>,
+    pub(crate) ingress: Option<ClientIngress>,
 
-    next_seq: u64,
-    last_proposal_at: Micros,
+    pub(crate) next_seq: u64,
+    pub(crate) last_proposal_at: Micros,
+
+    // --- durability & recovery (logic in `crate::recovery`) ---
+    /// WAL + checkpoint store (`None` = memory-only node).
+    pub(crate) storage: Option<clanbft_storage::NodeStorage>,
+    /// Commit sequences emitted by previous incarnations of this node: the
+    /// global sequence number of `committed_log[0]`.
+    pub(crate) commit_seq_base: u64,
+    /// Leader round at which the last checkpoint was installed.
+    pub(crate) last_checkpoint_round: u64,
+    /// This node's newest proposal, kept for idempotent re-broadcast after
+    /// a restart (tracked only when storage is on).
+    pub(crate) last_proposal: Option<clanbft_storage::ProposalEntry>,
+    /// Per party: `round.0 + 1` of its newest vertex in the total order
+    /// (0 = none yet) — the liveness table epoch rotation decides on.
+    pub(crate) committed_round_by: Vec<u64>,
+    /// Epoch-rotation decisions made so far, oldest first.
+    pub(crate) epochs: Vec<clanbft_storage::EpochEntry>,
+    /// The next epoch number to decide (1-based).
+    pub(crate) next_epoch: u64,
+    /// In-flight post-restart state transfer (client side).
+    pub(crate) catchup: Option<crate::recovery::CatchupState>,
+    /// `(peer, from_round)` state requests already answered — the pull
+    /// rate-limit pattern applied to state transfer.
+    pub(crate) served_state: HashSet<(PartyId, u64)>,
+    /// WAL records replayed at construction (recovery telemetry).
+    pub(crate) recovered_records: u64,
+    /// Whether this construction rebuilt durable state from disk.
+    pub(crate) recovered: bool,
 }
 
 /// Cap on `TxBatch` runs per block: pulled transactions are coalesced by
@@ -163,7 +197,7 @@ impl SailfishNode {
         } else {
             None
         };
-        SailfishNode {
+        let mut node = SailfishNode {
             schedule: LeaderSchedule::new(cfg.tribe.n(), cfg.schedule_seed),
             dag: Dag::new(cfg.tribe),
             votes: VoteTracker::new(cfg.tribe.n()),
@@ -192,8 +226,30 @@ impl SailfishNode {
             ingress,
             next_seq: 0,
             last_proposal_at: Micros::ZERO,
+            storage: None,
+            commit_seq_base: 0,
+            last_checkpoint_round: 0,
+            last_proposal: None,
+            committed_round_by: vec![0; cfg.tribe.n()],
+            epochs: Vec::new(),
+            next_epoch: 1,
+            catchup: None,
+            served_state: HashSet::new(),
+            recovered_records: 0,
+            recovered: false,
             cfg,
+        };
+        if let Some(dir) = node.cfg.storage_dir.clone() {
+            let (storage, recovered) = clanbft_storage::NodeStorage::open(
+                &dir,
+                node.cfg.fsync,
+                node.cfg.telemetry.clone(),
+            )
+            .expect("node storage must open");
+            node.storage = Some(storage);
+            node.rebuild_from(recovered);
         }
+        node
     }
 
     /// Current round.
@@ -228,6 +284,25 @@ impl SailfishNode {
         self.blocks.get(vref).map(Arc::as_ref)
     }
 
+    /// Whether this construction rebuilt durable state from disk.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The global sequence number of this incarnation's first commit:
+    /// everything below it was committed (and persisted) by previous lives
+    /// of this node.
+    pub fn commit_seq_base(&self) -> u64 {
+        self.commit_seq_base
+    }
+
+    /// Epoch-rotation decisions this node has made or replayed, oldest
+    /// first. Deterministic across the tribe: every honest party's list
+    /// agrees on any shared prefix.
+    pub fn epoch_decisions(&self) -> &[clanbft_storage::EpochEntry] {
+        &self.epochs
+    }
+
     /// Misbehaviour evidence this node has accumulated (consensus-level
     /// double votes and vote/timeout conflicts, plus RBC-level equivocation
     /// drained from the broadcast engine).
@@ -253,6 +328,9 @@ impl SailfishNode {
             },
         );
         if self.evidence.len() < EVIDENCE_CAP {
+            if self.storage.is_some() {
+                self.log_wal(&clanbft_storage::WalRecord::Evidence { evidence: ev });
+            }
             self.evidence.push(ev);
         }
     }
@@ -285,8 +363,13 @@ impl SailfishNode {
 
     fn build_block(&mut self, round: Round, now: Micros) -> Block {
         let _prof = clanbft_profiler::scope("consensus.build_block");
-        if self.stopped_proposing {
+        if self.stopped_proposing || !self.proposes_blocks_at(round) {
             return Block::empty(self.cfg.me, round);
+        }
+        // Epoch rotation can seat a party that was not a block proposer at
+        // construction; its ingress comes to life with its first block.
+        if self.ingress.is_none() {
+            self.ensure_ingress(now);
         }
         let Some(ingress) = self.ingress.as_mut() else {
             return Block::empty(self.cfg.me, round);
@@ -314,7 +397,7 @@ impl SailfishNode {
         Block::new(self.cfg.me, round, batches)
     }
 
-    fn propose(&mut self, round: Round, fx: &mut Effects<MergedPayload>, now: Micros) {
+    pub(crate) fn propose(&mut self, round: Round, fx: &mut Effects<MergedPayload>, now: Micros) {
         let _prof = clanbft_profiler::scope("consensus.propose");
         if let Some(max) = self.cfg.max_round {
             if round.0 > max {
@@ -398,6 +481,20 @@ impl SailfishNode {
             );
         }
         let payload = MergedPayload::new(vertex, block);
+        // Persist-before-send: a crash after this point re-broadcasts the
+        // identical vertex on recovery (RBC dedups); a crash before it
+        // proposed nothing. Either way, no equivocation.
+        if self.storage.is_some() {
+            self.log_wal(&clanbft_storage::WalRecord::Proposed {
+                vertex: (*payload.vertex).clone(),
+                block: (*payload.block).clone(),
+                next_tx_seq: self.next_seq,
+            });
+            self.last_proposal = Some(clanbft_storage::ProposalEntry {
+                vertex: (*payload.vertex).clone(),
+                block: (*payload.block).clone(),
+            });
+        }
         // Keep our own block regardless of clan membership (we produced it).
         self.blocks.insert(vref, Arc::clone(&payload.block));
         self.rbc.broadcast(round, payload, fx);
@@ -433,6 +530,11 @@ impl SailfishNode {
         fx.charge(self.cfg.cost.db_write());
         let id = vertex.id();
         self.accepted.insert(vref, (Arc::clone(&vertex), id));
+        if self.storage.is_some() {
+            self.log_wal(&clanbft_storage::WalRecord::Accepted {
+                vertex: (*vertex).clone(),
+            });
+        }
 
         // Leader vote (Sailfish's 1δ commit step).
         let round = vref.round;
@@ -440,6 +542,11 @@ impl SailfishNode {
             && !self.voted.contains(&round)
             && !self.no_voted.contains(&round)
         {
+            // Persist the vote before signing: a recovered node must never
+            // vote twice, nor vote after having announced a timeout.
+            if self.storage.is_some() {
+                self.log_wal(&clanbft_storage::WalRecord::Voted { round });
+            }
             self.voted.insert(round);
             fx.charge(self.cfg.cost.sign());
             self.cfg.telemetry.event(
@@ -551,8 +658,15 @@ impl SailfishNode {
 
     // --- commit and ordering -----------------------------------------------
 
-    fn try_commit(&mut self, round: Round, now: Micros) {
+    pub(crate) fn try_commit(&mut self, round: Round, now: Micros) {
         let _prof = clanbft_profiler::scope("consensus.try_commit");
+        // While a state transfer is in flight the commit cursor is not yet
+        // aligned with the tribe's: emitting now could assign sequences the
+        // tribe gave to other vertices. Ordering resumes when the transfer
+        // settles (`finish_catchup` replays the suppressed attempts).
+        if self.catchup.is_some() {
+            return;
+        }
         if self.last_committed.is_some_and(|lc| round <= lc) {
             return;
         }
@@ -576,7 +690,24 @@ impl SailfishNode {
             let Some(v) = self.dag.get(&vref) else {
                 continue;
             };
+            let (block_digest, block_bytes, block_tx_count) =
+                (v.block_digest, v.block_bytes, v.block_tx_count);
+            // Epoch rotation decides at fixed positions of the agreed
+            // sequence: decide *before* folding this vertex into the
+            // liveness table, so every party votes on identical state.
+            self.decide_epochs_up_to(vref.round, now);
+            self.committed_round_by[vref.source.idx()] =
+                self.committed_round_by[vref.source.idx()].max(vref.round.0 + 1);
             let sequence = self.next_commit_seq();
+            if self.storage.is_some() {
+                self.log_wal(&clanbft_storage::WalRecord::Committed {
+                    sequence,
+                    vertex: vref,
+                    block_digest,
+                    block_tx_count,
+                    leader_round: round,
+                });
+            }
             self.cfg.telemetry.event(
                 now,
                 self.cfg.me,
@@ -590,12 +721,18 @@ impl SailfishNode {
             self.committed_log.push(CommittedVertex {
                 sequence,
                 vertex: vref,
-                block_digest: v.block_digest,
-                block_bytes: v.block_bytes,
-                block_tx_count: v.block_tx_count,
+                block_digest,
+                block_bytes,
+                block_tx_count,
                 committed_at: now,
+                leader_round: round,
             });
-            if self.executor.is_some() && self.cfg.topology.receives_full(self.cfg.me, vref.source)
+            if self.executor.is_some()
+                && self
+                    .rbc
+                    .config()
+                    .topology_at(vref.round)
+                    .receives_full(self.cfg.me, vref.source)
             {
                 self.exec_queue.push_back(vref);
             }
@@ -610,10 +747,11 @@ impl SailfishNode {
         self.last_committed = Some(round);
         self.try_execute(now);
         self.garbage_collect();
+        self.maybe_checkpoint();
     }
 
-    fn next_commit_seq(&self) -> u64 {
-        self.committed_log.len() as u64
+    pub(crate) fn next_commit_seq(&self) -> u64 {
+        self.commit_seq_base + self.committed_log.len() as u64
     }
 
     fn try_execute(&mut self, now: Micros) {
@@ -658,7 +796,7 @@ impl SailfishNode {
 
     // --- round advancement ---------------------------------------------------
 
-    fn try_advance(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
+    pub(crate) fn try_advance(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
         loop {
             let r = self.current_round;
             if self.dag.round_count(r) < self.cfg.tribe.quorum() {
@@ -710,7 +848,7 @@ impl SailfishNode {
     // --- effects plumbing -----------------------------------------------------
 
     /// Applies RBC effects: charges, consensus events, and outgoing packets.
-    fn flush(&mut self, fx: Effects<MergedPayload>, ctx: &mut Ctx<ConsensusMsg>) {
+    pub(crate) fn flush(&mut self, fx: Effects<MergedPayload>, ctx: &mut Ctx<ConsensusMsg>) {
         let mut queue = vec![fx];
         while let Some(fx) = queue.pop() {
             ctx.charge(fx.charge);
@@ -924,6 +1062,24 @@ impl Protocol<ConsensusMsg> for SailfishNode {
             } => {
                 self.on_timeout_msg(from, round, timeout_sig, no_vote_sig, ctx);
             }
+            ConsensusMsg::StateRequest {
+                from_round,
+                next_seq,
+            } => {
+                self.on_state_request(from, from_round, next_seq, ctx);
+            }
+            // The snapshot header is informational (it shows up in traces);
+            // chunk arrival and the `last` flag drive the client side.
+            ConsensusMsg::StateSnapshot { .. } => {}
+            ConsensusMsg::StateChunk {
+                from_round,
+                seq,
+                last,
+                vertices,
+                committed,
+            } => {
+                self.on_state_chunk(from, from_round, seq, last, vertices, committed, ctx);
+            }
         }
     }
 
@@ -937,6 +1093,13 @@ impl Protocol<ConsensusMsg> for SailfishNode {
             return;
         }
         let round = Round(token);
+        // A round timer expiring with a state transfer still open means the
+        // remaining responders are slow or down: settle for whatever `f+1`
+        // of them already agree on and rejoin — liveness must not hinge on
+        // prompt peers (commits are suppressed while the transfer is open).
+        if self.catchup.is_some() {
+            self.finish_catchup(ctx);
+        }
         if round != self.current_round {
             return; // Stale timer; the round already advanced.
         }
@@ -949,7 +1112,11 @@ impl Protocol<ConsensusMsg> for SailfishNode {
         // Announce the timeout: sign both the TC statement (round
         // advancement) and the NVC statement (the next leader's license to
         // skip the edge). Having announced, this node must never vote for
-        // this round's leader vertex.
+        // this round's leader vertex — persisted first, so not even a crash
+        // lets it forget the exclusivity.
+        if self.storage.is_some() {
+            self.log_wal(&clanbft_storage::WalRecord::NoVoted { round });
+        }
         self.no_voted.insert(round);
         self.cfg
             .telemetry
@@ -965,6 +1132,17 @@ impl Protocol<ConsensusMsg> for SailfishNode {
                 no_vote_sig,
             },
         );
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<ConsensusMsg>) {
+        // Rebuild from scratch through the normal constructor: it reopens
+        // the storage directory and replays checkpoint + WAL silently. The
+        // wall clock (not simulated time) measures the rebuild cost.
+        let started = std::time::Instant::now();
+        let cfg = self.cfg.clone();
+        let auth = Arc::clone(&self.auth);
+        *self = SailfishNode::new(cfg, auth);
+        self.post_restart(started, ctx);
     }
 }
 

@@ -97,6 +97,25 @@ impl Dag {
         self.rounds.values().map(HashMap::len).sum()
     }
 
+    /// All live vertices from `from` on, in `(round, source)` order — the
+    /// material a checkpoint or a state-transfer response ships.
+    pub fn live_vertices_from(&self, from: Round) -> Vec<&Vertex> {
+        let mut out: Vec<&Vertex> = self
+            .rounds
+            .range(from..)
+            .flat_map(|(_, m)| m.values())
+            .collect();
+        out.sort_by_key(|v| (v.round, v.source));
+        out
+    }
+
+    /// Marks `r` as already ordered without walking its history — used
+    /// when restoring the ordered set from a checkpoint, where the causal
+    /// walk already happened in a previous life of this process.
+    pub fn mark_ordered(&mut self, r: VertexRef) {
+        self.ordered.insert(r);
+    }
+
     /// Offers a delivered vertex. Returns which vertices became live (the
     /// offered one plus any pending descendants it unblocked), or whether it
     /// was buffered / a duplicate.

@@ -15,7 +15,15 @@
 //!    have entered some total order (a block proposed but never terminal
 //!    is the bug this gate exists to catch);
 //! 6. every evidence event belongs to an incident whose culprit is a
-//!    configured attacker, when the trace declares its attack set.
+//!    configured attacker, when the trace declares its attack set;
+//! 7. recovery continuity: a `recovery_completed` event's restored commit
+//!    frontier equals exactly one past the party's last pre-restart commit
+//!    — a lower frontier would re-emit (double-ack) committed sequences, a
+//!    higher one silently lost them;
+//! 8. no equivocation by honest proposers: a party never emits two
+//!    different vertex digests for the same round — in particular a
+//!    restarted party must re-broadcast its persisted proposal verbatim,
+//!    not mint a fresh twin.
 
 use crate::incident::incidents;
 use crate::parse::Trace;
@@ -182,6 +190,69 @@ pub fn check(trace: &Trace) -> Vec<String> {
         }
     }
 
+    // 7. Recovery continuity: the restored frontier must sit exactly one
+    // past the party's last commit emitted before the restart. The WAL is
+    // written before any commit becomes externally visible, so anything
+    // else is a durability bug: a low frontier re-acks, a high one lost
+    // committed history.
+    let mut frontier: BTreeMap<PartyId, u64> = BTreeMap::new();
+    for s in &trace.events {
+        match s.event {
+            Event::VertexCommitted { sequence, .. } => {
+                frontier.insert(s.party, sequence + 1);
+            }
+            Event::RecoveryCompleted {
+                round, commit_seq, ..
+            } => {
+                let expected = frontier.get(&s.party).copied().unwrap_or(0);
+                if commit_seq < expected {
+                    violations.push(format!(
+                        "p{}: recovery at round {} restored frontier {} but \
+                         sequences up to {} were already emitted (would re-ack)",
+                        s.party.0,
+                        round.0,
+                        commit_seq,
+                        expected - 1
+                    ));
+                } else if commit_seq > expected {
+                    violations.push(format!(
+                        "p{}: recovery at round {} lost committed sequences \
+                         {}..{} (frontier jumped past the emitted order)",
+                        s.party.0, round.0, expected, commit_seq
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 8. Equivocation by an honest proposer: two different digests for the
+    // same (proposer, round). Configured attackers are exempt — minting
+    // twins is exactly what the equivocation attack does, and invariant 6
+    // already demands the evidence trail for it.
+    let mut proposed: BTreeMap<(PartyId, Round), u64> = BTreeMap::new();
+    for s in &trace.events {
+        let Event::VertexProposed { round, digest, .. } = s.event else {
+            continue;
+        };
+        if digest == 0 || attackers.contains(&s.party.0) {
+            continue;
+        }
+        match proposed.get(&(s.party, round)) {
+            None => {
+                proposed.insert((s.party, round), digest);
+            }
+            Some(&d0) if d0 != digest => {
+                violations.push(format!(
+                    "p{}: equivocated at round {}: proposed digest {:016x} \
+                     then {:016x} (a restart must re-broadcast, not re-mint)",
+                    s.party.0, round.0, d0, digest
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
     violations
 }
 
@@ -286,6 +357,112 @@ mod tests {
         text.push_str(&commit(80, 1, 4, 0, 1));
         let trace = parse_trace(&text).expect("parses");
         assert_eq!(check(&trace), Vec::<String>::new());
+    }
+
+    fn recovery(at: u64, party: u32, round: u64, commit_seq: u64) -> String {
+        format!(
+            "{{\"at\":{at},\"party\":{party},\"ev\":\"recovery_completed\",\"round\":{round},\
+             \"wal_records\":7,\"commit_seq\":{commit_seq},\"duration_us\":100}}\n"
+        )
+    }
+
+    fn propose_d(at: u64, party: u32, round: u64, digest: &str) -> String {
+        format!(
+            "{{\"at\":{at},\"party\":{party},\"ev\":\"vertex_proposed\",\"round\":{round},\
+             \"txs\":1,\"digest\":\"{digest}\",\"strong\":[],\"weak\":0}}\n"
+        )
+    }
+
+    #[test]
+    fn recovery_with_exact_frontier_passes() {
+        let text = format!(
+            "{}{}{}{}{}",
+            propose(10, 0, 1),
+            commit(50, 1, 1, 0, 0),
+            commit(55, 2, 1, 0, 0),
+            recovery(90, 2, 2, 1), // p2 restarts; frontier = last seq + 1
+            commit(95, 2, 2, 1, 1)
+        );
+        let trace = parse_trace(&text).expect("parses");
+        assert_eq!(check(&trace), Vec::<String>::new());
+    }
+
+    #[test]
+    fn recovery_frontier_regression_is_a_violation() {
+        // p2 committed sequence 0 then recovered with frontier 0: replay
+        // would re-emit (and re-ack) sequence 0.
+        let text = format!(
+            "{}{}{}{}",
+            propose(10, 0, 1),
+            commit(50, 1, 1, 0, 0),
+            commit(55, 2, 1, 0, 0),
+            recovery(90, 2, 2, 0)
+        );
+        let trace = parse_trace(&text).expect("parses");
+        let violations = check(&trace);
+        assert!(
+            violations.iter().any(|v| v.contains("would re-ack")),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_frontier_jump_is_a_violation() {
+        // p2 recovered claiming sequences 1..3 were committed, but its
+        // emitted order stops at 0: the WAL lost history.
+        let text = format!(
+            "{}{}{}{}",
+            propose(10, 0, 1),
+            commit(50, 1, 1, 0, 0),
+            commit(55, 2, 1, 0, 0),
+            recovery(90, 2, 2, 3)
+        );
+        let trace = parse_trace(&text).expect("parses");
+        let violations = check(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("lost committed sequences 1..3")),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn post_restart_equivocation_is_a_violation() {
+        // p0 proposes round 1, restarts, and mints a *different* round-1
+        // vertex instead of re-broadcasting the persisted one.
+        let text = format!(
+            "{}{}{}{}{}",
+            propose_d(10, 0, 1, "00000000000000aa"),
+            commit(50, 1, 1, 0, 0),
+            recovery(90, 0, 1, 0),
+            propose_d(95, 0, 1, "00000000000000bb"),
+            commit(99, 0, 1, 0, 0)
+        );
+        let trace = parse_trace(&text).expect("parses");
+        let violations = check(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("equivocated at round 1")),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn configured_attackers_may_equivocate() {
+        let mut text = String::from(
+            "{\"meta\":\"run\",\"n\":4,\"seed\":1,\"clans\":0,\"attacks\":\"0:equivocate\"}\n",
+        );
+        text.push_str(&propose_d(10, 0, 1, "00000000000000aa"));
+        text.push_str(&propose_d(11, 0, 1, "00000000000000bb"));
+        text.push_str(&commit(50, 1, 1, 1, 0));
+        let trace = parse_trace(&text).expect("parses");
+        let violations = check(&trace);
+        assert!(
+            !violations.iter().any(|v| v.contains("equivocated")),
+            "violations: {violations:?}"
+        );
     }
 
     #[test]

@@ -267,6 +267,9 @@ fn intern_msg_kind(kind: &str) -> &'static str {
         "rbc.pull" => "rbc.pull",
         "rbc.pull_resp" => "rbc.pull_resp",
         "rbc.meta_resp" => "rbc.meta_resp",
+        "state.request" => "state.request",
+        "state.snapshot" => "state.snapshot",
+        "state.chunk" => "state.chunk",
         _ => "other",
     }
 }
@@ -366,6 +369,17 @@ fn to_event(map: &BTreeMap<String, Value>) -> Option<Event> {
             round: get_round(map, "round")?,
             source: get_party(map, "source")?,
             pending: get_u64(map, "pending").unwrap_or(0),
+        },
+        "recovery_completed" => Event::RecoveryCompleted {
+            round: get_round(map, "round")?,
+            wal_records: get_u64(map, "wal_records").unwrap_or(0),
+            commit_seq: get_u64(map, "commit_seq").unwrap_or(0),
+            duration_us: get_u64(map, "duration_us").unwrap_or(0),
+        },
+        "epoch_rotated" => Event::EpochRotated {
+            epoch: get_u64(map, "epoch")?,
+            from_round: get_round(map, "from_round")?,
+            replaced: get_u64(map, "replaced").unwrap_or(0),
         },
         "poa_formed" => Event::PoaFormed {
             seq: get_u64(map, "seq")?,

@@ -367,8 +367,14 @@ impl<P: TribePayload> Instance<P> {
 pub struct EngineConfig {
     /// This party.
     pub me: PartyId,
-    /// Tribe and clan structure.
+    /// Tribe and clan structure governing rounds before the first epoch
+    /// entry (and every round when `epochs` is empty — the common case).
     pub topology: Arc<ClanTopology>,
+    /// Epoch-rotated clan structures as `(from_round, topology)` pairs in
+    /// ascending `from_round` order. The tribe (membership, `f`, quorums)
+    /// is identical across entries — only the clan assignment rotates, so
+    /// `quorum`/`small_quorum`/`n` stay epoch-independent.
+    pub epochs: Vec<(Round, Arc<ClanTopology>)>,
     /// CPU cost model for charge accounting.
     pub cost: CostModel,
     /// Telemetry sink for RBC phase events (disabled by default).
@@ -389,11 +395,31 @@ impl EngineConfig {
         EngineConfig {
             me,
             topology,
+            epochs: Vec::new(),
             cost,
             telemetry: Telemetry::null(),
             round_window: 256,
             pull_retry: Micros::from_millis(500),
         }
+    }
+
+    /// The clan structure governing broadcast instances of `round`: the
+    /// last epoch entry with `from_round <= round`, else the base topology.
+    pub fn topology_at(&self, round: Round) -> &Arc<ClanTopology> {
+        self.epochs
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= round)
+            .map(|(_, t)| t)
+            .unwrap_or(&self.topology)
+    }
+
+    /// Installs a rotated clan structure effective from `from_round`
+    /// onward (idempotent per boundary; keeps entries sorted).
+    pub fn install_epoch(&mut self, from_round: Round, topology: Arc<ClanTopology>) {
+        self.epochs.retain(|(f, _)| *f != from_round);
+        self.epochs.push((from_round, topology));
+        self.epochs.sort_by_key(|(f, _)| *f);
     }
 
     /// Tribe quorum `2f+1`.
@@ -692,7 +718,11 @@ impl<P: TribePayload> Core<P> {
     ) -> Option<(usize, usize)> {
         let n = self.cfg.n();
         let tel = self.cfg.telemetry.clone();
-        let in_clan = self.cfg.topology.clan_for_sender(source).contains(from);
+        let in_clan = self
+            .cfg
+            .topology_at(round)
+            .clan_for_sender(source)
+            .contains(from);
         let inst = self.instance(round, source);
         if !inst.echoes.contains_key(&digest) && !inst.echoes.is_empty() {
             // A second distinct digest behind one instance: the source is
@@ -739,9 +769,22 @@ impl<P: TribePayload> Core<P> {
     }
 
     /// True iff `(total, clan)` meets the tribe-assisted echo threshold for
-    /// this `source`: `2f+1` overall with at least `f_c+1` from the clan.
-    pub(crate) fn echo_threshold_met(&self, source: PartyId, total: usize, clan: usize) -> bool {
-        total >= self.cfg.quorum() && clan >= self.cfg.topology.clan_for_sender(source).clan_quorum
+    /// this `source` in `round`: `2f+1` overall with at least `f_c+1` from
+    /// the clan that `round`'s topology assigns the source to.
+    pub(crate) fn echo_threshold_met(
+        &self,
+        round: Round,
+        source: PartyId,
+        total: usize,
+        clan: usize,
+    ) -> bool {
+        total >= self.cfg.quorum()
+            && clan
+                >= self
+                    .cfg
+                    .topology_at(round)
+                    .clan_for_sender(source)
+                    .clan_quorum
     }
 
     /// Marks the digest certified and performs delivery or starts pulls.
@@ -754,7 +797,7 @@ impl<P: TribePayload> Core<P> {
     ) {
         let me = self.cfg.me;
         let tel = self.cfg.telemetry.clone();
-        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let full_receiver = self.cfg.topology_at(round).receives_full(me, source);
         // Certification required a real quorum, so the round is
         // legitimately active: widen the admission window to it.
         self.note_round(round);
@@ -894,7 +937,7 @@ impl<P: TribePayload> Core<P> {
     ) {
         let me = self.cfg.me;
         let tel = self.cfg.telemetry.clone();
-        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let full_receiver = self.cfg.topology_at(round).receives_full(me, source);
         let inst = self.instance(round, source);
         if inst.echo_quorum_emitted {
             return;
@@ -935,7 +978,7 @@ impl<P: TribePayload> Core<P> {
         level: u8,
         fx: &mut Effects<P>,
     ) {
-        let clan = self.cfg.topology.clan_for_sender(source).clone();
+        let clan = self.cfg.topology_at(round).clan_for_sender(source).clone();
         let me = self.cfg.me;
         let inst = self.instance(round, source);
         if inst.pull_level >= level {
@@ -1113,8 +1156,8 @@ impl<P: TribePayload> Core<P> {
         let me = self.cfg.me;
         let tel = self.cfg.telemetry.clone();
         let base = self.cfg.pull_retry;
-        let full_receiver = self.cfg.topology.receives_full(me, source);
-        let clan = self.cfg.topology.clan_for_sender(source).clone();
+        let full_receiver = self.cfg.topology_at(round).receives_full(me, source);
+        let clan = self.cfg.topology_at(round).clan_for_sender(source).clone();
         let f1 = self.cfg.small_quorum();
         let n = self.cfg.n();
         if round < self.horizon {
@@ -1205,7 +1248,7 @@ impl<P: TribePayload> Core<P> {
     /// matching payload (clan member) or meta view (everyone else).
     pub(crate) fn deliver_if_ready(&mut self, round: Round, source: PartyId, fx: &mut Effects<P>) {
         let me = self.cfg.me;
-        let full_receiver = self.cfg.topology.receives_full(me, source);
+        let full_receiver = self.cfg.topology_at(round).receives_full(me, source);
         let inst = self.instance(round, source);
         if inst.delivered {
             return;

@@ -52,13 +52,24 @@ impl<P: TribePayload> TribeRbc2<P> {
         &self.core.cfg
     }
 
+    /// Installs an epoch-rotated clan structure effective from
+    /// `from_round` (see [`EngineConfig::install_epoch`]). In-flight
+    /// instances of earlier rounds keep their original topology.
+    pub fn install_epoch(
+        &mut self,
+        from_round: Round,
+        topology: Arc<crate::topology::ClanTopology>,
+    ) {
+        self.core.cfg.install_epoch(from_round, topology);
+    }
+
     /// `r_bcast`: disseminates `payload` as this party's broadcast for
     /// `round`.
     pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
         let _prof = clanbft_profiler::scope("rbc.broadcast");
         self.core.note_round(round);
         let me = self.core.cfg.me;
-        let topo = self.core.cfg.topology.clone();
+        let topo = self.core.cfg.topology_at(round).clone();
         let clan = topo.clan_for_sender(me);
         let meta = payload.meta();
         fx.charge(self.core.cfg.cost.hash(payload.wire_bytes()));
@@ -108,7 +119,7 @@ impl<P: TribePayload> TribeRbc2<P> {
                 // echo asserts custody of the full payload (that is what
                 // makes f_c+1 clan echoes imply retrievability).
                 let me = self.core.cfg.me;
-                let full_receiver = self.core.cfg.topology.receives_full(me, source);
+                let full_receiver = self.core.cfg.topology_at(round).receives_full(me, source);
                 if let Some(d) = self.core.accept_meta(round, source, meta, true, fx) {
                     if !full_receiver {
                         self.maybe_echo(round, source, d, fx);
@@ -127,7 +138,7 @@ impl<P: TribePayload> TribeRbc2<P> {
                     self.core
                         .note_echo(round, source, from, digest, Some(sig), fx)
                 {
-                    if self.core.echo_threshold_met(source, total, clan) {
+                    if self.core.echo_threshold_met(round, source, total, clan) {
                         self.form_and_send_cert(round, source, digest, fx);
                     }
                 }
@@ -285,7 +296,12 @@ impl<P: TribePayload> TribeRbc2<P> {
         fx: &mut Effects<P>,
     ) -> bool {
         let quorum = self.core.cfg.quorum();
-        let clan = self.core.cfg.topology.clan_for_sender(source).clone();
+        let clan = self
+            .core
+            .cfg
+            .topology_at(round)
+            .clan_for_sender(source)
+            .clone();
         fx.charge(self.core.cfg.cost.agg_verify(cert.count()));
         let statement = echo_statement(source, round, &digest);
         let culprits: Vec<usize> = if self.verify_sigs {

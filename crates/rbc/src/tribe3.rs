@@ -37,7 +37,7 @@ impl<P: TribePayload> TribeRbc3<P> {
     pub fn broadcast(&mut self, round: Round, payload: P, fx: &mut Effects<P>) {
         self.core.note_round(round);
         let me = self.core.cfg.me;
-        let topo = self.core.cfg.topology.clone();
+        let topo = self.core.cfg.topology_at(round).clone();
         let clan = topo.clan_for_sender(me);
         let meta = payload.meta();
         fx.charge(self.core.cfg.cost.hash(payload.wire_bytes()));
@@ -86,7 +86,7 @@ impl<P: TribePayload> TribeRbc3<P> {
                 // echo asserts custody of the full payload (that is what
                 // makes f_c+1 clan echoes imply retrievability).
                 let me = self.core.cfg.me;
-                let full_receiver = self.core.cfg.topology.receives_full(me, source);
+                let full_receiver = self.core.cfg.topology_at(round).receives_full(me, source);
                 if let Some(d) = self.core.accept_meta(round, source, meta, true, fx) {
                     if !full_receiver {
                         self.maybe_echo(round, source, d, fx);
@@ -98,7 +98,7 @@ impl<P: TribePayload> TribeRbc3<P> {
                 if let Some((total, clan)) =
                     self.core.note_echo(round, source, from, digest, None, fx)
                 {
-                    if self.core.echo_threshold_met(source, total, clan) {
+                    if self.core.echo_threshold_met(round, source, total, clan) {
                         self.core.on_echo_quorum(round, source, digest, fx);
                         self.maybe_ready(round, source, digest, fx);
                     }

@@ -49,6 +49,24 @@ pub struct TribeSpec {
     pub bandwidth: BandwidthModel,
     /// Crash faults: `(party, time)`.
     pub crashes: Vec<(PartyId, Micros)>,
+    /// Restart schedule: `(party, time)`. Every restarted party must also
+    /// appear in `crashes` (with an earlier time) and requires
+    /// `storage_root` — a node cannot rejoin without its WAL.
+    pub restarts: Vec<(PartyId, Micros)>,
+    /// Root directory for per-node durable storage (`node-<i>/` under it).
+    /// `None` runs every node memory-only.
+    pub storage_root: Option<std::path::PathBuf>,
+    /// Whether WAL appends fsync (logical-recovery tests may turn this off).
+    pub fsync: bool,
+    /// Checkpoint every this many committed leader rounds.
+    pub checkpoint_interval: u64,
+    /// Post-restart state-transfer window (rounds behind the local frontier).
+    pub catchup_rounds: u64,
+    /// Rounds per epoch for clan rotation (`None` = never rotate).
+    pub epoch_length: Option<u64>,
+    /// Liveness slack before a clan member is rotated out (see
+    /// [`NodeConfig::rotation_miss_k`]).
+    pub rotation_miss_k: u64,
     /// Byzantine faults: each listed party runs the honest node wrapped in
     /// the given [`Attack`] behaviour. Keep the count within `f` for the
     /// tribe (and within `f_c` per clan) or agreement guarantees lapse.
@@ -87,6 +105,13 @@ impl TribeSpec {
             cost: CostModel::default(),
             bandwidth: BandwidthModel::default(),
             crashes: Vec::new(),
+            restarts: Vec::new(),
+            storage_root: None,
+            fsync: true,
+            checkpoint_interval: 8,
+            catchup_rounds: 8,
+            epoch_length: None,
+            rotation_miss_k: 4,
             byzantine: Vec::new(),
             partitions: Vec::new(),
             gst: Micros::ZERO,
@@ -179,6 +204,13 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
     for &(p, at) in &spec.crashes {
         sim_cfg.crash_at[p.idx()] = Some(at);
     }
+    assert!(
+        spec.restarts.is_empty() || spec.storage_root.is_some(),
+        "restarts require storage_root: a node cannot rejoin without its WAL"
+    );
+    for &(p, at) in &spec.restarts {
+        sim_cfg.restart_at[p.idx()] = Some(at);
+    }
     sim_cfg.partitions = spec.partitions.clone();
     sim_cfg.gst = spec.gst;
     sim_cfg.pre_gst_extra_max = spec.pre_gst_extra_max;
@@ -209,6 +241,14 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.verify_sigs = spec.verify_sigs;
             cfg.execute = spec.execute;
             cfg.telemetry = spec.telemetry.clone();
+            if let Some(root) = &spec.storage_root {
+                cfg.storage_dir = Some(root.join(format!("node-{i}")));
+            }
+            cfg.fsync = spec.fsync;
+            cfg.checkpoint_interval = spec.checkpoint_interval;
+            cfg.catchup_rounds = spec.catchup_rounds;
+            cfg.epoch_length = spec.epoch_length;
+            cfg.rotation_miss_k = spec.rotation_miss_k;
             let inner = SailfishNode::new(cfg, auth);
             match spec.byzantine.iter().find(|(p, _)| *p == me) {
                 Some((_, attack)) => AdversaryNode::byzantine(inner, attack.instantiate()),

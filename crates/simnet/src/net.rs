@@ -60,8 +60,15 @@ pub struct SimConfig {
     /// the harness from the protocol's dissemination topology.
     pub bulk_fanout: Vec<usize>,
     /// Per-node crash times (`None` = never crashes). A crashed node sends
-    /// and processes nothing from its crash time onward.
+    /// and processes nothing from its crash time onward — until a scheduled
+    /// restart, if any.
     pub crash_at: Vec<Option<Micros>>,
+    /// Per-node restart times (`None` = stays down). At its restart time a
+    /// crashed node gets [`Protocol::on_restart`]: volatile state is *not*
+    /// reset by the simulator — the protocol implementation must rebuild
+    /// itself from durable storage there (a real process would boot with an
+    /// empty heap). Must be strictly after the node's crash time.
+    pub restart_at: Vec<Option<Micros>>,
     /// Temporary link cuts.
     pub partitions: Vec<Partition>,
     /// Telemetry sink for network-level events (drops, partition holds).
@@ -84,6 +91,7 @@ impl SimConfig {
             pre_gst_extra_max: Micros::ZERO,
             bulk_fanout: vec![n.saturating_sub(1).max(1); n],
             crash_at: vec![None; n],
+            restart_at: vec![None; n],
             partitions: Vec::new(),
             telemetry: Telemetry::null(),
         }
@@ -100,6 +108,7 @@ impl SimConfig {
 enum SimEvent<M> {
     Deliver { src: PartyId, dst: PartyId, msg: M },
     Timer { node: PartyId, token: u64 },
+    Restart { node: PartyId },
 }
 
 /// Aggregate traffic statistics, per node and total.
@@ -183,6 +192,17 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
             "bulk_fanout table must cover all nodes"
         );
         assert_eq!(cfg.crash_at.len(), n, "crash table must cover all nodes");
+        assert_eq!(
+            cfg.restart_at.len(),
+            n,
+            "restart table must cover all nodes"
+        );
+        for i in 0..n {
+            if let Some(r) = cfg.restart_at[i] {
+                let c = cfg.crash_at[i].expect("restart scheduled without a crash");
+                assert!(r > c, "node {i}: restart {r} must be after crash {c}");
+            }
+        }
         Simulator {
             rng: ClanRng::seed_from_u64(cfg.seed),
             stats: NetStats {
@@ -237,13 +257,35 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
     }
 
     fn crashed(&self, p: PartyId, at: Micros) -> bool {
-        matches!(self.cfg.crash_at[p.idx()], Some(t) if at >= t)
+        let down_since = match self.cfg.crash_at[p.idx()] {
+            None => return false,
+            Some(t) => t,
+        };
+        if at < down_since {
+            return false;
+        }
+        // Inside the crash window unless a restart has already happened.
+        match self.cfg.restart_at[p.idx()] {
+            Some(r) => at < r,
+            None => true,
+        }
     }
 
-    /// Runs `on_start` on every live node at time zero.
+    /// Runs `on_start` on every live node at time zero and schedules the
+    /// configured restarts.
     pub fn start(&mut self) {
         assert!(!self.started, "start may only be called once");
         self.started = true;
+        for i in 0..self.nodes.len() {
+            if let Some(r) = self.cfg.restart_at[i] {
+                self.queue.push(
+                    r,
+                    Box::new(SimEvent::Restart {
+                        node: PartyId(i as u32),
+                    }),
+                );
+            }
+        }
         for i in 0..self.nodes.len() {
             let p = PartyId(i as u32);
             if self.crashed(p, Micros::ZERO) {
@@ -294,6 +336,17 @@ impl<M: Message, P: Protocol<M>> Simulator<M, P> {
                 let mut ctx = Ctx::new(node, start, &cost);
                 self.nodes[node.idx()].on_timer(token, &mut ctx);
                 self.busy_until[node.idx()] = start + ctx.charged();
+                self.absorb(node, ctx);
+            }
+            SimEvent::Restart { node } => {
+                let _prof = prof::scope("sim.restart");
+                // The node was dead until this instant; whatever CPU debt it
+                // carried died with the process.
+                self.busy_until[node.idx()] = at;
+                let cost = self.cfg.cost;
+                let mut ctx = Ctx::new(node, at, &cost);
+                self.nodes[node.idx()].on_restart(&mut ctx);
+                self.busy_until[node.idx()] = at + ctx.charged();
                 self.absorb(node, ctx);
             }
         }
@@ -566,6 +619,87 @@ mod tests {
         });
         sim.run_to_quiescence();
         assert!(sim.node(PartyId(0)).pongs_seen.is_empty());
+    }
+
+    /// A crash window with a scheduled restart: deliveries inside the window
+    /// are dropped, `on_restart` fires exactly at the restart time, and the
+    /// node processes messages again afterwards.
+    #[test]
+    fn restart_revives_a_crashed_node() {
+        #[derive(Clone, Debug)]
+        struct Tick;
+        impl Message for Tick {
+            fn wire_bytes(&self) -> usize {
+                16
+            }
+        }
+        struct Node {
+            sent: u32,
+            heard: Vec<Micros>,
+            restarted_at: Option<Micros>,
+        }
+        impl Protocol<Tick> for Node {
+            fn on_start(&mut self, ctx: &mut Ctx<Tick>) {
+                if ctx.party() == PartyId(0) {
+                    ctx.send(PartyId(1), Tick);
+                    self.sent = 1;
+                    ctx.set_timer(Micros::from_millis(100), 1);
+                }
+            }
+            fn on_message(&mut self, _from: PartyId, _msg: Tick, ctx: &mut Ctx<Tick>) {
+                self.heard.push(ctx.now());
+            }
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<Tick>) {
+                if self.sent < 10 {
+                    ctx.send(PartyId(1), Tick);
+                    self.sent += 1;
+                    ctx.set_timer(Micros::from_millis(100), 1);
+                }
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<Tick>) {
+                self.restarted_at = Some(ctx.now());
+            }
+        }
+        let mut cfg = SimConfig::benign(2, 3);
+        cfg.cost = CostModel::free();
+        cfg.jitter_frac = 0.0;
+        cfg.crash_at[1] = Some(Micros::from_millis(50));
+        cfg.restart_at[1] = Some(Micros::from_millis(450));
+        let node = |_| Node {
+            sent: 0,
+            heard: vec![],
+            restarted_at: None,
+        };
+        let mut sim = Simulator::new(cfg, (0..2).map(node).collect());
+        sim.run_to_quiescence();
+        let receiver = sim.node(PartyId(1));
+        assert_eq!(
+            receiver.restarted_at,
+            Some(Micros::from_millis(450)),
+            "on_restart fires at the scheduled time"
+        );
+        // Ticks depart every 100 ms; one-way delay ≈ 33 ms. Arrivals inside
+        // the [50 ms, 450 ms) window are dropped, the rest heard.
+        assert!(
+            !receiver.heard.is_empty(),
+            "pre-crash delivery must be heard"
+        );
+        assert!(
+            receiver
+                .heard
+                .iter()
+                .all(|&t| t < Micros::from_millis(50) || t >= Micros::from_millis(450)),
+            "no delivery may land inside the crash window: {:?}",
+            receiver.heard
+        );
+        assert!(
+            receiver
+                .heard
+                .iter()
+                .any(|&t| t >= Micros::from_millis(450)),
+            "post-restart deliveries must resume"
+        );
+        assert!(sim.stats().dropped_msgs > 0, "window deliveries dropped");
     }
 
     #[test]

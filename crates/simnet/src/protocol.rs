@@ -38,6 +38,14 @@ pub trait Protocol<M: Message>: Send {
 
     /// Called when a timer armed via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<M>);
+
+    /// Called when the simulator restarts this node after a scheduled
+    /// crash (`SimConfig::restart_at`). The process's volatile state is
+    /// gone by definition — an implementation that wants to survive must
+    /// rebuild itself from durable storage here. The default keeps the
+    /// node silent (a restart without recovery support is a fresh,
+    /// do-nothing process).
+    fn on_restart(&mut self, _ctx: &mut Ctx<M>) {}
 }
 
 /// The per-invocation context handed to protocol handlers.

@@ -84,6 +84,36 @@ pub const MEMPOOL_BATCH_SIZE: &str = "mempool.batch_size";
 /// Histogram: percentage of the chosen batch size actually filled.
 pub const MEMPOOL_BATCH_OCCUPANCY: &str = "mempool.batch_occupancy_pct";
 
+// --- durability / recovery -------------------------------------------------
+//
+// Ticked by `clanbft-storage` and the consensus recovery path. All zero in
+// benign runs without a configured storage directory.
+
+/// WAL records appended (one per durable state transition).
+pub const WAL_APPENDS: &str = "wal.appends";
+
+/// WAL bytes written, framing included.
+pub const WAL_BYTES: &str = "wal.bytes";
+
+/// Physical `fsync` calls issued by the WAL / checkpoint installer.
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+
+/// Checkpoints atomically installed (each one rotates the WAL).
+pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
+
+/// `StateRequest` messages handled by peers (rate-limited like Pull).
+pub const STATE_TRANSFER_REQUESTS: &str = "state_transfer.requests";
+
+/// `StateChunk` messages sent by responding peers.
+pub const STATE_TRANSFER_CHUNKS: &str = "state_transfer.chunks";
+
+/// Payload bytes shipped inside state-transfer chunks.
+pub const STATE_TRANSFER_BYTES: &str = "state_transfer.bytes";
+
+/// Epoch boundaries at which the deterministic re-election actually
+/// replaced a dead clan member.
+pub const ELECTION_EPOCH_ROTATIONS: &str = "election.epoch_rotations";
+
 // --- bounded-buffer occupancy gauges -------------------------------------
 //
 // Sampled by the consensus node once per round entry; the flight recorder

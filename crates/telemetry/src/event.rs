@@ -165,6 +165,29 @@ pub enum Event {
         /// live occupancy of the causal-completeness buffer.
         pending: u64,
     },
+    /// A restarted party finished rebuilding from checkpoint + WAL and
+    /// rejoined the protocol.
+    RecoveryCompleted {
+        /// The round the node resumed at.
+        round: Round,
+        /// WAL records replayed on top of the checkpoint.
+        wal_records: u64,
+        /// Restored commit-sequence frontier (next sequence to emit).
+        commit_seq: u64,
+        /// Wall-clock rebuild duration in microseconds. Host time, not
+        /// simulated time — the one nondeterministic field in the stream,
+        /// which is why determinism pins compare commit traces, not bytes.
+        duration_us: u64,
+    },
+    /// An epoch boundary deterministically replaced dead clan members.
+    EpochRotated {
+        /// The epoch decided.
+        epoch: u64,
+        /// First round the rotated topology governs.
+        from_round: Round,
+        /// How many clan seats changed hands.
+        replaced: u64,
+    },
     /// Straw-man: a proof of availability completed (`f_c+1` acks).
     PoaFormed {
         /// Owner-local block sequence number.
@@ -196,6 +219,8 @@ impl Event {
             Event::EvidenceRecorded { .. } => "evidence",
             Event::DagBuffered { .. } => "dag_buffered",
             Event::DagLive { .. } => "dag_live",
+            Event::RecoveryCompleted { .. } => "recovery_completed",
+            Event::EpochRotated { .. } => "epoch_rotated",
             Event::PoaFormed { .. } => "poa_formed",
             Event::SlotCommitted { .. } => "slot_committed",
         }
@@ -294,6 +319,24 @@ impl Stamped {
                 .u64("round", round.0)
                 .u64("source", source.0 as u64)
                 .u64("pending", *pending),
+            Event::RecoveryCompleted {
+                round,
+                wal_records,
+                commit_seq,
+                duration_us,
+            } => base
+                .u64("round", round.0)
+                .u64("wal_records", *wal_records)
+                .u64("commit_seq", *commit_seq)
+                .u64("duration_us", *duration_us),
+            Event::EpochRotated {
+                epoch,
+                from_round,
+                replaced,
+            } => base
+                .u64("epoch", *epoch)
+                .u64("from_round", from_round.0)
+                .u64("replaced", *replaced),
             Event::PoaFormed { seq } => base.u64("seq", *seq),
             Event::SlotCommitted { slot, txs } => base.u64("slot", *slot).u64("txs", *txs),
         }

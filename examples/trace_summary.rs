@@ -86,7 +86,32 @@ fn main() {
             "benign run ticked attack-indicating counter {name}"
         );
     }
-    println!("robustness ok: no attack-indicating counters on a benign run\n");
+    println!("robustness ok: no attack-indicating counters on a benign run");
+
+    // --- durability counters: benignly zero without a storage_dir -----------
+    // This run configures no storage root, crashes nobody, and rotates no
+    // epochs, so the whole durability subsystem must stay silent: no WAL
+    // appends, no checkpoints, no state transfer, no rotations. A tick here
+    // means the recovery path leaked into the steady-state hot path.
+    let durability = [
+        counters::WAL_APPENDS,
+        counters::WAL_BYTES,
+        counters::WAL_FSYNCS,
+        counters::CHECKPOINT_WRITTEN,
+        counters::STATE_TRANSFER_REQUESTS,
+        counters::STATE_TRANSFER_CHUNKS,
+        counters::STATE_TRANSFER_BYTES,
+        counters::ELECTION_EPOCH_ROTATIONS,
+    ];
+    for name in durability {
+        println!("counter {name} = {}", recorder.counter(name));
+        assert_eq!(
+            recorder.counter(name),
+            0,
+            "storage-less benign run ticked durability counter {name}"
+        );
+    }
+    println!("durability ok: recovery subsystem silent without a storage root\n");
 
     // --- stage breakdown and run summary -----------------------------------
     let breakdown = stage_breakdown(&events);

@@ -95,6 +95,26 @@ if ! "$INSPECT" profile --diff "$PERF/profile_a.ndjson" "$PERF/profile_b.ndjson"
     exit 1
 fi
 
+echo "== crash-recovery gate (WAL replay, state transfer, epoch rotation)"
+# recovery_smoke runs two durable scenarios — a crash/restart recovered
+# from checkpoint + WAL + peer state transfer, and an epoch rotation that
+# deterministically replaces a crashed clan member — asserting in-process
+# that the restarted party rebuilds from disk, rejoins the same total
+# order gap-free, and that rotation never halts commits. Re-judge both
+# traces through the inspect binary: `check` now also enforces the
+# recovery-continuity (no lost or re-acked sequences across a restart)
+# and no-equivocation (a restart re-broadcasts, never re-mints) invariants.
+RECOVERY=target/ci-recovery
+rm -rf "$RECOVERY"
+cargo run --release --offline -p clanbft-sim --example recovery_smoke -- "$RECOVERY" > /dev/null
+"$INSPECT" --check "$RECOVERY/restart.ndjson"
+"$INSPECT" --check "$RECOVERY/rotation.ndjson"
+# The kill/restart matrix (follower, clan member, f staggered, WAL-only vs
+# state-transfer, rotation liveness) and the WAL torn-write/bit-flip
+# properties; named explicitly so a recovery regression is named in the log.
+cargo test -q --offline -p clanbft-sim --test fault_injection
+cargo test -q --offline -p clanbft-storage
+
 echo "== bench trajectory (committed summary present and well-formed)"
 # BENCH_summary.json is regenerated by scripts/refresh_bench.sh (the fig5
 # sweep is too slow for CI); here we pin its shape so a stale or truncated
