@@ -19,7 +19,7 @@
 //! per committed transaction — so a reviewer (or CI diff) reads the run's
 //! outcome without replaying the sweep.
 
-use clanbft_bench::{append_ndjson, fmt_point, full_scale, run_point};
+use clanbft_bench::{append_ndjson, fmt_point, full_scale, run_durable_point, run_point};
 use clanbft_sim::{Proto, RunMetrics};
 use clanbft_telemetry::JsonObj;
 
@@ -63,6 +63,9 @@ impl Headline {
             .u64("wall_us", m.wall_us)
             .f64("sim_events_per_sec", m.sim_events_per_sec)
             .f64("wall_us_per_sim_sec", m.wall_us_per_sim_sec)
+            .u64("wal_fsync_p50_us", m.wal_fsync_p50_us)
+            .u64("wal_fsync_p99_us", m.wal_fsync_p99_us)
+            .u64("wal_bytes_per_commit", m.wal_bytes_per_commit)
             .finish()
     }
 }
@@ -137,6 +140,36 @@ fn sweep(
     }
 }
 
+/// Figure 5d: the durability tax. One single-clan point re-run with every
+/// node on a real WAL + checkpoint directory (fsyncs on), reporting the
+/// fsync-latency distribution and WAL bytes per committed vertex alongside
+/// the throughput/latency headline — the cost the memory-only sections
+/// above do not pay. Kept to one modest point: fsync latency is a host
+/// property, not a sweep axis.
+fn sweep_durability(rounds: u64, summary: &mut Vec<Headline>) {
+    let (n, txs) = (50, 500);
+    let proto = Proto::SingleClan { clan_size: 32 };
+    println!("--- Figure 5d: durability cost (n = {n}, WAL + fsync per node) ---");
+    let m = run_durable_point(proto.clone(), n, txs, rounds);
+    println!("{}", fmt_point(&proto.label(), txs, &m));
+    println!(
+        "{:<34} wal fsync p50={}us p99={}us   wal bytes/commit={}",
+        proto.label(),
+        m.wal_fsync_p50_us,
+        m.wal_fsync_p99_us,
+        m.wal_bytes_per_commit
+    );
+    record_point("d", &proto, n, txs, &m);
+    summary.push(Headline {
+        section: "d",
+        proto: proto.label(),
+        n,
+        txs,
+        metrics: m,
+    });
+    println!();
+}
+
 fn main() {
     // CLANBFT_PROFILE=path attributes the whole sweep's host time to
     // pipeline stages (NDJSON + collapsed stacks next to `path`).
@@ -169,6 +202,7 @@ fn main() {
         rounds,
         &mut summary,
     );
+    sweep_durability(rounds, &mut summary);
     let lines: String = summary.iter().map(|h| h.to_json() + "\n").collect();
     let path = summary_path();
     match std::fs::write(&path, &lines) {

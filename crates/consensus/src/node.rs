@@ -718,6 +718,7 @@ impl SailfishNode {
                     sequence,
                 },
             );
+            self.cfg.telemetry.add(counters::COMMIT_VERTICES, 1);
             self.committed_log.push(CommittedVertex {
                 sequence,
                 vertex: vref,

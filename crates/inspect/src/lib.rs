@@ -22,10 +22,14 @@
 //!   [`profile_diff`]).
 //! * [`check`] — the CI gate: sequence contiguity, agreement, stage
 //!   ordering, span completeness, evidence attribution ([`check()`]).
+//! * [`alerts`] — offline replay of the online detector catalogue
+//!   (`clanbft_monitor`): the same fire/clear transcript and cluster
+//!   verdict the live monitor would have produced ([`alert_report`]).
 //!
 //! The same library API backs the `clanbft-inspect` binary and the
 //! `trace_summary` example, so the invariant logic exists exactly once.
 
+pub mod alerts;
 pub mod check;
 pub mod diff;
 pub mod dot;
@@ -35,6 +39,7 @@ pub mod parse;
 pub mod perf;
 pub mod waterfall;
 
+pub use alerts::alert_report;
 pub use check::{check, check_report, COMPLETENESS_MARGIN};
 pub use diff::{diff, profile, RunProfile};
 pub use dot::{ascii, dot, parse_round_range};

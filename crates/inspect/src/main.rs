@@ -8,6 +8,7 @@
 //! clanbft-inspect ascii     <trace> [--rounds a..b]   ASCII DAG rendering
 //! clanbft-inspect diff      <baseline> <candidate>    per-stage regression report
 //! clanbft-inspect check     <trace>           invariant gate (exit 1 on violation)
+//! clanbft-inspect alerts    <trace>           offline detector replay + cluster verdict
 //! clanbft-inspect profile   <profile>         hot scopes + tree + allocation tables
 //! clanbft-inspect profile --diff <base> <cand> [--threshold pct]   perf regression verdict
 //! ```
@@ -17,13 +18,14 @@
 //! from stdin.
 
 use clanbft_inspect::{
-    ascii, check_report, diff, dot, health_report, incident_report, parse_profile,
+    alert_report, ascii, check_report, diff, dot, health_report, incident_report, parse_profile,
     parse_round_range, parse_trace, profile_diff, profile_report, waterfall, PerfProfile, Trace,
 };
 use std::io::Read as _;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: clanbft-inspect <waterfall|health|incidents|dot|ascii|check> <trace> \
+const USAGE: &str =
+    "usage: clanbft-inspect <waterfall|health|incidents|alerts|dot|ascii|check> <trace> \
                      [--rounds a..b]\n       clanbft-inspect diff <baseline> <candidate>\n       \
                      clanbft-inspect profile <profile> | profile --diff <base> <cand> \
                      [--threshold pct]\n       (a trace path of '-' reads stdin)";
@@ -72,13 +74,14 @@ fn run() -> Result<ExitCode, String> {
     let cmd = cmd.as_str();
     let cmd = if cmd == "--check" { "check" } else { cmd };
     match cmd {
-        "waterfall" | "health" | "incidents" | "check" => {
+        "waterfall" | "health" | "incidents" | "alerts" | "check" => {
             let path = args.get(1).ok_or(USAGE)?;
             let trace = load(path)?;
             match cmd {
                 "waterfall" => print!("{}", waterfall(&trace)),
                 "health" => print!("{}", health_report(&trace)),
                 "incidents" => print!("{}", incident_report(&trace)),
+                "alerts" => print!("{}", alert_report(&trace)),
                 _ => {
                     let (report, ok) = check_report(&trace);
                     print!("{report}");

@@ -1,0 +1,956 @@
+//! The streaming detector bank: per-party rolling windows, hysteresis and
+//! alert emission.
+//!
+//! The bank is a pure state machine over the telemetry surface — stamped
+//! protocol events plus party-tagged gauge/counter/histogram samples. Time
+//! never comes from the host clock: `now` is the maximum event stamp seen,
+//! so the same event stream always produces the same alert stream
+//! (determinism pins rely on this). The one host-measured input is the WAL
+//! fsync-latency histogram; its detector therefore only appears in runs
+//! with durable storage and is excluded from byte-exact pins.
+
+use crate::alert::{Alert, AlertKind, Detector, DETECTOR_COUNT};
+use crate::config::MonitorConfig;
+use crate::health::{HealthSnapshot, Verdict};
+use clanbft_telemetry::{counters, Event, RbcPhase, Stamped};
+use clanbft_types::{Micros, PartyId, Round};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Fire/clear state of one detector for one party.
+#[derive(Default, Clone)]
+struct Hysteresis {
+    /// Condition currently held.
+    active: bool,
+    /// Fire transitions emitted so far.
+    fires: u64,
+    /// Transitions swallowed by the rate cap.
+    suppressed: u64,
+    /// The active condition's fire was suppressed, so its clear must be
+    /// suppressed too (the emitted stream stays pairwise balanced).
+    suppressing: bool,
+}
+
+/// Everything the bank tracks about one party.
+#[derive(Default)]
+struct PartyState {
+    /// Last round entered.
+    round: u64,
+    /// Stamp of the party's newest commit.
+    last_commit_at: Option<Micros>,
+    /// Pull-retry stamps inside the rolling window.
+    retries: VecDeque<Micros>,
+    /// Evidence stamps (this party as culprit) inside the window.
+    evidence: VecDeque<Micros>,
+    /// Capacity-rejection stamps/deltas inside the window.
+    mempool_rejects: VecDeque<(Micros, u64)>,
+    /// Slow-fsync stamps inside the window.
+    slow_fsyncs: VecDeque<Micros>,
+    /// Newest value of every `buf.*` occupancy gauge.
+    buf_gauges: BTreeMap<&'static str, u64>,
+    /// Per-detector fire/clear state.
+    hys: [Hysteresis; DETECTOR_COUNT],
+}
+
+impl PartyState {
+    fn any_active(&self) -> bool {
+        self.hys.iter().any(|h| h.active)
+    }
+}
+
+/// The streaming detector bank shared by the online monitor and offline
+/// replay.
+pub struct DetectorBank {
+    cfg: MonitorConfig,
+    parties: BTreeMap<PartyId, PartyState>,
+    /// Maximum event stamp seen (the bank's clock).
+    now: Micros,
+    /// First event stamp seen (stall baseline for parties that never
+    /// commit).
+    started_at: Option<Micros>,
+    /// Cluster-wide newest commit stamp and the sequence it carried.
+    frontier_at: Option<Micros>,
+    frontier_seq: u64,
+    /// Cluster-wide maximum entered round.
+    max_round: u64,
+    alerts: Vec<Alert>,
+    snapshots: Vec<HealthSnapshot>,
+    snapshots_skipped: u64,
+    last_snapshot_at: Option<Micros>,
+}
+
+impl DetectorBank {
+    /// An empty bank with the given thresholds.
+    pub fn new(cfg: MonitorConfig) -> DetectorBank {
+        DetectorBank {
+            cfg,
+            parties: BTreeMap::new(),
+            now: Micros::ZERO,
+            started_at: None,
+            frontier_at: None,
+            frontier_seq: 0,
+            max_round: 0,
+            alerts: Vec::new(),
+            snapshots: Vec::new(),
+            snapshots_skipped: 0,
+            last_snapshot_at: None,
+        }
+    }
+
+    /// Registers a party so cluster verdicts cover it even before its first
+    /// event arrives.
+    pub fn register(&mut self, party: PartyId) {
+        self.parties.entry(party).or_default();
+    }
+
+    /// The bank's thresholds.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Consumes one stamped protocol event.
+    pub fn observe_event(&mut self, s: &Stamped) {
+        self.advance(s.at);
+        match &s.event {
+            Event::RoundEntered { round } => self.on_round_entered(s.party, *round, s.at),
+            Event::VertexCommitted { sequence, .. } => self.on_commit(s.party, *sequence, s.at),
+            Event::Rbc {
+                phase: RbcPhase::PullRetry,
+                round,
+                source,
+            } => self.on_pull_retry(s.party, *round, *source, s.at),
+            Event::EvidenceRecorded { culprit, .. } => self.on_evidence(*culprit, s.at),
+            _ => {}
+        }
+        self.maybe_snapshot();
+    }
+
+    /// Consumes one party-tagged gauge sample.
+    pub fn observe_gauge(&mut self, party: PartyId, gauge: &'static str, value: u64) {
+        if !gauge.starts_with("buf.") {
+            return;
+        }
+        self.register(party);
+        let cfg = self.cfg.clone();
+        let state = self.parties.get_mut(&party).expect("registered");
+        state.buf_gauges.insert(gauge, value);
+        let over: Vec<(&'static str, u64)> = state
+            .buf_gauges
+            .iter()
+            .filter(|(_, v)| **v >= cfg.buffer_hi)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let all_low = state.buf_gauges.values().all(|v| *v <= cfg.buffer_lo);
+        let (now, round) = (self.now, Round(state.round));
+        if let Some((name, v)) = over.first() {
+            let evidence = format!("{name} at {v} >= {}", cfg.buffer_hi);
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                party,
+                Detector::BufferGrowth,
+                true,
+                now,
+                round,
+                evidence,
+            );
+        } else if all_low {
+            let evidence = format!("all buf.* gauges <= {}", cfg.buffer_lo);
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                party,
+                Detector::BufferGrowth,
+                false,
+                now,
+                round,
+                evidence,
+            );
+        }
+    }
+
+    /// Consumes one party-tagged counter increment.
+    pub fn observe_counter(&mut self, party: PartyId, counter: &'static str, delta: u64) {
+        if counter != counters::MEMPOOL_REJECTED_FULL || delta == 0 {
+            return;
+        }
+        self.register(party);
+        let cfg = self.cfg.clone();
+        let now = self.now;
+        let state = self.parties.get_mut(&party).expect("registered");
+        state.mempool_rejects.push_back((now, delta));
+        let cut = now.saturating_sub(cfg.mempool_window);
+        while state
+            .mempool_rejects
+            .front()
+            .is_some_and(|(at, _)| *at < cut)
+        {
+            state.mempool_rejects.pop_front();
+        }
+        let total: u64 = state.mempool_rejects.iter().map(|(_, d)| d).sum();
+        if total >= cfg.mempool_reject_fire {
+            let evidence = format!(
+                "{total} capacity rejections in {}us window",
+                cfg.mempool_window.0
+            );
+            let round = Round(state.round);
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                party,
+                Detector::MempoolCollapse,
+                true,
+                now,
+                round,
+                evidence,
+            );
+        }
+    }
+
+    /// Consumes one party-tagged histogram sample.
+    pub fn observe_histogram(&mut self, party: PartyId, metric: &'static str, value: u64) {
+        let cfg = self.cfg.clone();
+        let now = self.now;
+        match metric {
+            counters::WAL_FSYNC_MICROS if value >= cfg.wal_fsync_slow_us => {
+                self.register(party);
+                let state = self.parties.get_mut(&party).expect("registered");
+                state.slow_fsyncs.push_back(now);
+                let cut = now.saturating_sub(cfg.wal_window);
+                while state.slow_fsyncs.front().is_some_and(|at| *at < cut) {
+                    state.slow_fsyncs.pop_front();
+                }
+                if state.slow_fsyncs.len() as u64 >= cfg.wal_fsync_fire {
+                    let evidence = format!(
+                        "{} fsyncs slower than {}us in window",
+                        state.slow_fsyncs.len(),
+                        cfg.wal_fsync_slow_us
+                    );
+                    let round = Round(state.round);
+                    Self::transition(
+                        &mut self.alerts,
+                        &cfg,
+                        state,
+                        party,
+                        Detector::WalDegradation,
+                        true,
+                        now,
+                        round,
+                        evidence,
+                    );
+                }
+            }
+            counters::CHECKPOINT_BYTES if value >= cfg.checkpoint_bytes_hi => {
+                self.register(party);
+                let state = self.parties.get_mut(&party).expect("registered");
+                let evidence =
+                    format!("checkpoint of {value} bytes >= {}", cfg.checkpoint_bytes_hi);
+                let round = Round(state.round);
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    party,
+                    Detector::WalDegradation,
+                    true,
+                    now,
+                    round,
+                    evidence,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // --- event handlers -----------------------------------------------------
+
+    fn advance(&mut self, at: Micros) {
+        if self.started_at.is_none() {
+            self.started_at = Some(at);
+        }
+        self.now = self.now.max(at);
+    }
+
+    fn on_round_entered(&mut self, party: PartyId, round: Round, at: Micros) {
+        self.register(party);
+        let cfg = self.cfg.clone();
+        self.parties.get_mut(&party).expect("registered").round = round.0;
+        if round.0 > self.max_round {
+            self.max_round = round.0;
+            // The frontier moved: re-judge every party's skew.
+            let max_round = self.max_round;
+            for (&pid, state) in self.parties.iter_mut() {
+                let behind = max_round.saturating_sub(state.round);
+                let fire = behind >= cfg.skew_rounds;
+                let evidence = if fire {
+                    format!("at round {} while cluster reached {max_round}", state.round)
+                } else {
+                    format!("caught up to round {}", state.round)
+                };
+                let r = Round(state.round);
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::RoundSkew,
+                    fire,
+                    at,
+                    r,
+                    evidence,
+                );
+            }
+        } else {
+            // This party advanced within a known frontier: it may have just
+            // caught back up.
+            let behind = self.max_round.saturating_sub(round.0);
+            if behind < cfg.skew_rounds {
+                let state = self.parties.get_mut(&party).expect("registered");
+                let evidence = format!("caught up to round {}", round.0);
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    party,
+                    Detector::RoundSkew,
+                    false,
+                    at,
+                    round,
+                    evidence,
+                );
+            }
+        }
+    }
+
+    fn on_commit(&mut self, party: PartyId, sequence: u64, at: Micros) {
+        self.register(party);
+        let cfg = self.cfg.clone();
+        {
+            let state = self.parties.get_mut(&party).expect("registered");
+            state.last_commit_at = Some(at);
+            let round = Round(state.round);
+            let evidence = format!("committed seq {sequence}");
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                party,
+                Detector::CommitStall,
+                false,
+                at,
+                round,
+                evidence,
+            );
+        }
+        let advanced = self.frontier_at.map_or(true, |f| at > f);
+        if advanced {
+            self.frontier_at = Some(at);
+            self.frontier_seq = self.frontier_seq.max(sequence);
+            self.scan_stalls(at);
+            self.sweep_windows(at);
+        }
+    }
+
+    fn on_pull_retry(&mut self, party: PartyId, round: Round, source: PartyId, at: Micros) {
+        self.register(party);
+        let cfg = self.cfg.clone();
+        let state = self.parties.get_mut(&party).expect("registered");
+        state.retries.push_back(at);
+        let cut = at.saturating_sub(cfg.retry_window);
+        while state.retries.front().is_some_and(|t| *t < cut) {
+            state.retries.pop_front();
+        }
+        if state.retries.len() as u64 >= cfg.retry_fire {
+            let evidence = format!(
+                "{} pull retries in {}us window (latest for round {} from party {})",
+                state.retries.len(),
+                cfg.retry_window.0,
+                round.0,
+                source.0
+            );
+            let r = Round(state.round);
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                party,
+                Detector::PullRetryStorm,
+                true,
+                at,
+                r,
+                evidence,
+            );
+        }
+    }
+
+    fn on_evidence(&mut self, culprit: PartyId, at: Micros) {
+        self.register(culprit);
+        let cfg = self.cfg.clone();
+        let state = self.parties.get_mut(&culprit).expect("registered");
+        state.evidence.push_back(at);
+        let cut = at.saturating_sub(cfg.evidence_window);
+        while state.evidence.front().is_some_and(|t| *t < cut) {
+            state.evidence.pop_front();
+        }
+        if state.evidence.len() as u64 >= cfg.evidence_fire {
+            let evidence = format!(
+                "{} evidence records in {}us window",
+                state.evidence.len(),
+                cfg.evidence_window.0
+            );
+            let r = Round(state.round);
+            Self::transition(
+                &mut self.alerts,
+                &cfg,
+                state,
+                culprit,
+                Detector::EvidenceSpike,
+                true,
+                at,
+                r,
+                evidence,
+            );
+        }
+    }
+
+    // --- periodic scans -----------------------------------------------------
+
+    /// Judges every party's commit lag against the cluster frontier. Runs
+    /// whenever the frontier advances: a stalled party is detected by the
+    /// *others'* progress, so a quiescent run end (nobody committing) never
+    /// fires.
+    fn scan_stalls(&mut self, at: Micros) {
+        let cfg = self.cfg.clone();
+        let Some(frontier) = self.frontier_at else {
+            return;
+        };
+        let (started, frontier_seq) = (self.started_at.unwrap_or(Micros::ZERO), self.frontier_seq);
+        for (&pid, state) in self.parties.iter_mut() {
+            let last = state.last_commit_at.unwrap_or(started);
+            let lag = frontier.saturating_sub(last);
+            if lag > cfg.stall_after {
+                let evidence = format!(
+                    "no commit for {}us behind cluster frontier (seq {frontier_seq})",
+                    lag.0
+                );
+                let r = Round(state.round);
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::CommitStall,
+                    true,
+                    at,
+                    r,
+                    evidence,
+                );
+            }
+        }
+    }
+
+    /// Expires rolling windows and clears windowed detectors whose
+    /// condition has drained. Driven off commit-frontier advances and
+    /// snapshots, which is frequent enough for prompt clears.
+    fn sweep_windows(&mut self, at: Micros) {
+        let cfg = self.cfg.clone();
+        for (&pid, state) in self.parties.iter_mut() {
+            let cut = at.saturating_sub(cfg.retry_window);
+            while state.retries.front().is_some_and(|t| *t < cut) {
+                state.retries.pop_front();
+            }
+            let cut = at.saturating_sub(cfg.evidence_window);
+            while state.evidence.front().is_some_and(|t| *t < cut) {
+                state.evidence.pop_front();
+            }
+            let cut = at.saturating_sub(cfg.mempool_window);
+            while state.mempool_rejects.front().is_some_and(|(t, _)| *t < cut) {
+                state.mempool_rejects.pop_front();
+            }
+            let cut = at.saturating_sub(cfg.wal_window);
+            while state.slow_fsyncs.front().is_some_and(|t| *t < cut) {
+                state.slow_fsyncs.pop_front();
+            }
+            let r = Round(state.round);
+            if state.retries.len() as u64 <= cfg.retry_clear {
+                let evidence = format!("window drained to {} retries", state.retries.len());
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::PullRetryStorm,
+                    false,
+                    at,
+                    r,
+                    evidence,
+                );
+            }
+            if state.evidence.is_empty() {
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::EvidenceSpike,
+                    false,
+                    at,
+                    r,
+                    "evidence window drained".to_string(),
+                );
+            }
+            if state.mempool_rejects.is_empty() {
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::MempoolCollapse,
+                    false,
+                    at,
+                    r,
+                    "rejection window drained".to_string(),
+                );
+            }
+            if state.slow_fsyncs.is_empty() {
+                Self::transition(
+                    &mut self.alerts,
+                    &cfg,
+                    state,
+                    pid,
+                    Detector::WalDegradation,
+                    false,
+                    at,
+                    r,
+                    "slow-fsync window drained".to_string(),
+                );
+            }
+        }
+    }
+
+    fn maybe_snapshot(&mut self) {
+        let due = match self.last_snapshot_at {
+            None => true,
+            Some(last) => self.now >= last + self.cfg.snapshot_every,
+        };
+        if !due {
+            return;
+        }
+        self.last_snapshot_at = Some(self.now);
+        self.sweep_windows(self.now);
+        let snap = self.assess();
+        if self.snapshots.len() < self.cfg.snapshot_cap {
+            self.snapshots.push(snap);
+        } else {
+            self.snapshots_skipped += 1;
+        }
+    }
+
+    /// One clear/fire transition with hysteresis and the rate cap applied.
+    #[allow(clippy::too_many_arguments)]
+    fn transition(
+        alerts: &mut Vec<Alert>,
+        cfg: &MonitorConfig,
+        state: &mut PartyState,
+        party: PartyId,
+        detector: Detector,
+        fire: bool,
+        at: Micros,
+        round: Round,
+        evidence: String,
+    ) {
+        let h = &mut state.hys[detector.index()];
+        if h.active == fire {
+            return;
+        }
+        h.active = fire;
+        if fire {
+            h.fires += 1;
+            if h.fires > cfg.rate_cap {
+                h.suppressed += 1;
+                h.suppressing = true;
+                return;
+            }
+        } else if h.suppressing {
+            h.suppressing = false;
+            h.suppressed += 1;
+            return;
+        }
+        alerts.push(Alert {
+            at,
+            detector,
+            kind: if fire {
+                AlertKind::Fire
+            } else {
+                AlertKind::Clear
+            },
+            severity: detector.severity(),
+            party,
+            round,
+            evidence,
+        });
+    }
+
+    // --- readout ------------------------------------------------------------
+
+    /// Every alert emitted so far, in emission order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// `(detector, party)` pairs whose condition is currently held.
+    pub fn active(&self) -> Vec<(Detector, PartyId)> {
+        let mut out = Vec::new();
+        for (&pid, state) in &self.parties {
+            for d in Detector::ALL {
+                if state.hys[d.index()].active {
+                    out.push((d, pid));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `detector` is currently firing for `party`.
+    pub fn is_active(&self, detector: Detector, party: PartyId) -> bool {
+        self.parties
+            .get(&party)
+            .map(|s| s.hys[detector.index()].active)
+            .unwrap_or(false)
+    }
+
+    /// Transitions swallowed by the per-detector rate caps.
+    pub fn suppressed(&self) -> u64 {
+        self.parties
+            .values()
+            .flat_map(|s| s.hys.iter())
+            .map(|h| h.suppressed)
+            .sum()
+    }
+
+    /// The bank's clock (maximum event stamp seen).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Cluster-wide maximum entered round.
+    pub fn max_round(&self) -> u64 {
+        self.max_round
+    }
+
+    /// Expires windows at the current clock and emits any resulting clears.
+    /// Call at end of run before the final verdict so conditions that
+    /// drained during the tail are judged cleared.
+    pub fn settle(&mut self) {
+        let now = self.now;
+        self.sweep_windows(now);
+    }
+
+    /// The current cluster-health verdict with per-party attribution.
+    pub fn assess(&self) -> HealthSnapshot {
+        let stalled: Vec<PartyId> = self
+            .parties
+            .iter()
+            .filter(|(_, s)| s.hys[Detector::CommitStall.index()].active)
+            .map(|(&p, _)| p)
+            .collect();
+        let degraded: Vec<PartyId> = self
+            .parties
+            .iter()
+            .filter(|(_, s)| s.any_active())
+            .map(|(&p, _)| p)
+            .collect();
+        let n = self.parties.len();
+        let verdict = if n > 0 && stalled.len() * 3 > n {
+            Verdict::Stalled
+        } else if !degraded.is_empty() {
+            Verdict::Degraded
+        } else {
+            Verdict::Healthy
+        };
+        let active_alerts = self
+            .parties
+            .values()
+            .flat_map(|s| s.hys.iter())
+            .filter(|h| h.active)
+            .count() as u64;
+        HealthSnapshot {
+            at: self.now,
+            verdict,
+            parties: n as u64,
+            active_alerts,
+            max_round: self.max_round,
+            stalled_parties: stalled,
+            degraded_parties: degraded,
+        }
+    }
+
+    /// The periodic snapshot history (bounded by `snapshot_cap`).
+    pub fn snapshots(&self) -> &[HealthSnapshot] {
+        &self.snapshots
+    }
+
+    /// Snapshots dropped once the history bound was reached.
+    pub fn snapshots_skipped(&self) -> u64 {
+        self.snapshots_skipped
+    }
+
+    /// Fire counts per detector (for the Prometheus exposition).
+    pub fn fire_totals(&self) -> [(Detector, u64); DETECTOR_COUNT] {
+        let mut out = Detector::ALL.map(|d| (d, 0u64));
+        for state in self.parties.values() {
+            for d in Detector::ALL {
+                out[d.index()].1 += state.hys[d.index()].fires;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> DetectorBank {
+        let mut b = DetectorBank::new(MonitorConfig::default());
+        for p in 0..4 {
+            b.register(PartyId(p));
+        }
+        b
+    }
+
+    fn commit(b: &mut DetectorBank, p: u32, seq: u64, at_ms: u64) {
+        b.observe_event(&Stamped {
+            at: Micros::from_millis(at_ms),
+            party: PartyId(p),
+            event: Event::VertexCommitted {
+                round: Round(1),
+                source: PartyId(p),
+                leader: true,
+                sequence: seq,
+            },
+        });
+    }
+
+    #[test]
+    fn benign_commit_cadence_stays_silent() {
+        let mut b = bank();
+        for step in 0..20u64 {
+            for p in 0..4 {
+                commit(&mut b, p, step, step * 300 + p as u64);
+            }
+        }
+        assert!(b.alerts().is_empty(), "alerts: {:?}", b.alerts());
+        assert_eq!(b.assess().verdict, Verdict::Healthy);
+    }
+
+    #[test]
+    fn lagging_party_fires_stall_then_clears() {
+        let mut b = bank();
+        // Everyone commits at t=0; then party 3 goes dark while the others
+        // keep committing past the stall threshold.
+        for p in 0..4 {
+            commit(&mut b, p, 0, p as u64);
+        }
+        for step in 1..8u64 {
+            for p in 0..3 {
+                commit(&mut b, p, step, step * 400 + p as u64);
+            }
+        }
+        let fires: Vec<&Alert> = b
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::Fire)
+            .collect();
+        assert_eq!(fires.len(), 1, "alerts: {:?}", b.alerts());
+        assert_eq!(fires[0].detector, Detector::CommitStall);
+        assert_eq!(fires[0].party, PartyId(3));
+        assert!(b.is_active(Detector::CommitStall, PartyId(3)));
+        assert_eq!(b.assess().verdict, Verdict::Degraded);
+        assert_eq!(b.assess().stalled_parties, vec![PartyId(3)]);
+
+        // The party recovers: its next commit clears the alert.
+        commit(&mut b, 3, 8, 3_300);
+        assert!(!b.is_active(Detector::CommitStall, PartyId(3)));
+        let clears: Vec<&Alert> = b
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::Clear)
+            .collect();
+        assert_eq!(clears.len(), 1);
+        assert_eq!(clears[0].detector, Detector::CommitStall);
+        assert_eq!(b.assess().verdict, Verdict::Healthy);
+    }
+
+    #[test]
+    fn majority_stall_is_a_stalled_verdict() {
+        let mut b = bank();
+        for p in 0..4 {
+            commit(&mut b, p, 0, p as u64);
+        }
+        // Only party 0 keeps committing: 3 of 4 parties stall.
+        for step in 1..8u64 {
+            commit(&mut b, 0, step, step * 400);
+        }
+        assert_eq!(b.assess().verdict, Verdict::Stalled);
+        assert_eq!(b.assess().stalled_parties.len(), 3);
+    }
+
+    #[test]
+    fn round_skew_fires_and_clears() {
+        let mut b = bank();
+        let enter = |b: &mut DetectorBank, p: u32, r: u64, at: u64| {
+            b.observe_event(&Stamped {
+                at: Micros::from_millis(at),
+                party: PartyId(p),
+                event: Event::RoundEntered { round: Round(r) },
+            });
+        };
+        for r in 1..=5u64 {
+            for p in 0..3 {
+                enter(&mut b, p, r, r * 100);
+            }
+            // Party 3 stays at round 1 after entering it once.
+            if r == 1 {
+                enter(&mut b, 3, 1, 100);
+            }
+        }
+        assert!(b.is_active(Detector::RoundSkew, PartyId(3)));
+        enter(&mut b, 3, 5, 600);
+        assert!(!b.is_active(Detector::RoundSkew, PartyId(3)));
+        let kinds: Vec<AlertKind> = b.alerts().iter().map(|a| a.kind).collect();
+        assert_eq!(kinds, vec![AlertKind::Fire, AlertKind::Clear]);
+    }
+
+    #[test]
+    fn pull_retry_storm_fires_and_drains() {
+        let mut b = bank();
+        for i in 0..6u64 {
+            b.observe_event(&Stamped {
+                at: Micros::from_millis(100 + i * 10),
+                party: PartyId(2),
+                event: Event::Rbc {
+                    phase: RbcPhase::PullRetry,
+                    round: Round(3),
+                    source: PartyId(1),
+                },
+            });
+        }
+        assert!(b.is_active(Detector::PullRetryStorm, PartyId(2)));
+        // Commits two seconds later expire the window and clear the storm.
+        commit(&mut b, 0, 1, 2_500);
+        commit(&mut b, 0, 2, 2_600);
+        assert!(!b.is_active(Detector::PullRetryStorm, PartyId(2)));
+    }
+
+    #[test]
+    fn evidence_spike_attributes_the_culprit() {
+        let mut b = bank();
+        b.observe_event(&Stamped {
+            at: Micros::from_millis(500),
+            party: PartyId(0),
+            event: Event::EvidenceRecorded {
+                kind: "equivocating_source",
+                round: Round(2),
+                culprit: PartyId(1),
+            },
+        });
+        assert!(b.is_active(Detector::EvidenceSpike, PartyId(1)));
+        let a = &b.alerts()[0];
+        assert_eq!(a.party, PartyId(1));
+        assert_eq!(a.detector, Detector::EvidenceSpike);
+    }
+
+    #[test]
+    fn buffer_growth_uses_hi_lo_hysteresis() {
+        let mut b = bank();
+        b.observe_gauge(PartyId(1), counters::BUF_DAG_PENDING, 5_000);
+        assert!(b.is_active(Detector::BufferGrowth, PartyId(1)));
+        // Dropping below hi but above lo keeps the alert held.
+        b.observe_gauge(PartyId(1), counters::BUF_DAG_PENDING, 2_000);
+        assert!(b.is_active(Detector::BufferGrowth, PartyId(1)));
+        b.observe_gauge(PartyId(1), counters::BUF_DAG_PENDING, 100);
+        assert!(!b.is_active(Detector::BufferGrowth, PartyId(1)));
+    }
+
+    #[test]
+    fn mempool_collapse_needs_the_rate() {
+        let mut b = bank();
+        b.observe_event(&Stamped {
+            at: Micros::from_millis(100),
+            party: PartyId(0),
+            event: Event::RoundEntered { round: Round(1) },
+        });
+        b.observe_counter(PartyId(0), counters::MEMPOOL_REJECTED_FULL, 10);
+        assert!(!b.is_active(Detector::MempoolCollapse, PartyId(0)));
+        b.observe_counter(PartyId(0), counters::MEMPOOL_REJECTED_FULL, 60);
+        assert!(b.is_active(Detector::MempoolCollapse, PartyId(0)));
+    }
+
+    #[test]
+    fn wal_degradation_from_slow_fsyncs() {
+        let mut b = bank();
+        b.observe_event(&Stamped {
+            at: Micros::from_millis(50),
+            party: PartyId(0),
+            event: Event::RoundEntered { round: Round(1) },
+        });
+        for _ in 0..3 {
+            b.observe_histogram(PartyId(0), counters::WAL_FSYNC_MICROS, 80_000);
+        }
+        assert!(b.is_active(Detector::WalDegradation, PartyId(0)));
+        // Fast fsyncs are ignored entirely.
+        let fires_before = b.alerts().len();
+        b.observe_histogram(PartyId(1), counters::WAL_FSYNC_MICROS, 200);
+        assert_eq!(b.alerts().len(), fires_before);
+    }
+
+    #[test]
+    fn rate_cap_suppresses_flapping() {
+        let cfg = MonitorConfig {
+            rate_cap: 2,
+            evidence_window: Micros::from_millis(10),
+            ..MonitorConfig::default()
+        };
+        let mut b = DetectorBank::new(cfg);
+        b.register(PartyId(0));
+        // Alternate evidence bursts with long silences so the detector
+        // fires, clears, and fires again past the cap.
+        for burst in 0..5u64 {
+            b.observe_event(&Stamped {
+                at: Micros::from_millis(burst * 1_000),
+                party: PartyId(0),
+                event: Event::EvidenceRecorded {
+                    kind: "double_vote",
+                    round: Round(burst),
+                    culprit: PartyId(0),
+                },
+            });
+            // A later commit sweeps the window and clears.
+            commit(&mut b, 1, burst, burst * 1_000 + 500);
+        }
+        let fires = b
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::Fire && a.detector == Detector::EvidenceSpike)
+            .count();
+        assert_eq!(fires, 2, "alerts: {:?}", b.alerts());
+        assert!(b.suppressed() > 0);
+    }
+
+    #[test]
+    fn snapshots_accumulate_on_event_time() {
+        let mut b = bank();
+        for step in 0..10u64 {
+            commit(&mut b, 0, step, step * 300);
+        }
+        assert!(b.snapshots().len() >= 2, "{}", b.snapshots().len());
+        // Snapshot stamps are monotone.
+        let stamps: Vec<u64> = b.snapshots().iter().map(|s| s.at.0).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted);
+    }
+}

@@ -54,6 +54,10 @@ pub struct ExperimentSpec {
     pub cooldown_rounds: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Per-node durable storage root (WAL + checkpoints under
+    /// `node-<i>/`). `None` runs memory-only — the historical default; the
+    /// durability bench point sets it to measure fsync cost.
+    pub storage_root: Option<std::path::PathBuf>,
 }
 
 impl ExperimentSpec {
@@ -68,6 +72,7 @@ impl ExperimentSpec {
             warmup_rounds: 3,
             cooldown_rounds: 3,
             seed: 11,
+            storage_root: None,
         }
     }
 
@@ -105,6 +110,7 @@ impl ExperimentSpec {
             }
             Proto::MultiClan { clans } => Some(partition_clans(self.n, *clans, self.seed)),
         };
+        spec.storage_root = self.storage_root.clone();
         spec
     }
 
@@ -133,6 +139,17 @@ impl ExperimentSpec {
         );
         m.attach_host_costs(wall, sim_span);
         m
+    }
+
+    /// Runs the data point with a fresh in-memory recorder attached and
+    /// returns it alongside the metrics, with the WAL/checkpoint durability
+    /// columns filled in from the recorder (meaningful when `storage_root`
+    /// is set; zero otherwise).
+    pub fn run_recorded(&self) -> (RunMetrics, std::sync::Arc<clanbft_telemetry::MemRecorder>) {
+        let (telemetry, rec) = clanbft_telemetry::Telemetry::mem();
+        let mut m = self.run_with(telemetry);
+        m.attach_durability(&rec);
+        (m, rec)
     }
 }
 

@@ -52,6 +52,14 @@ pub struct RunMetrics {
     /// Host wall microseconds per simulated second — how much slower (or
     /// faster) than real time the simulation runs.
     pub wall_us_per_sim_sec: f64,
+    /// Median WAL fsync latency, host-measured microseconds (zero in
+    /// memory-only runs; filled by [`RunMetrics::attach_durability`]).
+    pub wal_fsync_p50_us: u64,
+    /// 99th-percentile WAL fsync latency, host-measured microseconds.
+    pub wal_fsync_p99_us: u64,
+    /// WAL bytes written per committed vertex, framing included — the
+    /// durability tax each commit pays.
+    pub wal_bytes_per_commit: u64,
 }
 
 impl RunMetrics {
@@ -74,6 +82,9 @@ impl RunMetrics {
             .u64("wall_us", self.wall_us)
             .f64("sim_events_per_sec", self.sim_events_per_sec)
             .f64("wall_us_per_sim_sec", self.wall_us_per_sim_sec)
+            .u64("wal_fsync_p50_us", self.wal_fsync_p50_us)
+            .u64("wal_fsync_p99_us", self.wal_fsync_p99_us)
+            .u64("wal_bytes_per_commit", self.wal_bytes_per_commit)
             .finish()
     }
 
@@ -94,6 +105,25 @@ impl RunMetrics {
         } else {
             0.0
         };
+    }
+
+    /// Fills the WAL/checkpoint durability columns from a recorder that
+    /// observed the run: the fsync-latency histogram readout and the
+    /// bytes-per-commit ratio (WAL bytes over committed vertices, both from
+    /// counters). All three stay zero for memory-only runs.
+    pub fn attach_durability(&mut self, rec: &clanbft_telemetry::MemRecorder) {
+        use clanbft_telemetry::counters;
+        if let Some(h) = rec.histogram(counters::WAL_FSYNC_MICROS) {
+            let (p50, _p90, p99, _max) = h.readout();
+            self.wal_fsync_p50_us = p50;
+            self.wal_fsync_p99_us = p99;
+        }
+        if let Some(per_commit) = rec
+            .counter(counters::WAL_BYTES)
+            .checked_div(rec.counter(counters::COMMIT_VERTICES))
+        {
+            self.wal_bytes_per_commit = per_commit;
+        }
     }
 }
 
@@ -197,6 +227,9 @@ pub fn collect_metrics(
         wall_us: 0,
         sim_events_per_sec: 0.0,
         wall_us_per_sim_sec: 0.0,
+        wal_fsync_p50_us: 0,
+        wal_fsync_p99_us: 0,
+        wal_bytes_per_commit: 0,
     }
 }
 
@@ -268,6 +301,9 @@ mod tests {
             wall_us: 0,
             sim_events_per_sec: 0.0,
             wall_us_per_sim_sec: 0.0,
+            wal_fsync_p50_us: 0,
+            wal_fsync_p99_us: 0,
+            wal_bytes_per_commit: 0,
         };
         let mut m = m;
         m.attach_host_costs(std::time::Duration::from_millis(250), Micros::from_secs(2));
@@ -285,5 +321,43 @@ mod tests {
         // 5000 events / 0.25 s and 250 ms / 2 simulated seconds.
         assert!(line.contains("\"sim_events_per_sec\":20000"));
         assert!(line.contains("\"wall_us_per_sim_sec\":125000"));
+        assert!(line.contains("\"wal_fsync_p50_us\":0"));
+        assert!(line.contains("\"wal_bytes_per_commit\":0"));
+    }
+
+    #[test]
+    fn attach_durability_fills_wal_columns() {
+        use clanbft_telemetry::{counters, MemRecorder, Recorder};
+        let rec = MemRecorder::new();
+        for v in [100u64, 200, 300, 400] {
+            rec.record(counters::WAL_FSYNC_MICROS, v);
+        }
+        rec.add(counters::WAL_BYTES, 9_000);
+        rec.add(counters::COMMIT_VERTICES, 30);
+        let mut m = RunMetrics {
+            committed_txs: 0,
+            throughput_tps: 0.0,
+            avg_latency: Micros::ZERO,
+            p50_latency: Micros::ZERO,
+            p99_latency: Micros::ZERO,
+            window: Micros::ZERO,
+            committed_rounds: 0,
+            total_bytes: 0,
+            proposals: 0,
+            batch_p50: 0,
+            batch_p99: 0,
+            batch_max: 0,
+            sim_events: 0,
+            wall_us: 0,
+            sim_events_per_sec: 0.0,
+            wall_us_per_sim_sec: 0.0,
+            wal_fsync_p50_us: 0,
+            wal_fsync_p99_us: 0,
+            wal_bytes_per_commit: 0,
+        };
+        m.attach_durability(&rec);
+        assert!(m.wal_fsync_p50_us > 0);
+        assert!(m.wal_fsync_p99_us >= m.wal_fsync_p50_us);
+        assert_eq!(m.wal_bytes_per_commit, 300);
     }
 }

@@ -86,6 +86,11 @@ pub struct TribeSpec {
     /// Telemetry sink shared by the network and every node (disabled by
     /// default; see `clanbft_telemetry`).
     pub telemetry: Telemetry,
+    /// Optional online health monitor. When set, every node's telemetry is
+    /// teed into a per-party probe (so gauge/counter/histogram samples
+    /// arrive attributed) and the simulator's handle into an event-only
+    /// observer — the detectors then watch the run live.
+    pub monitor: Option<clanbft_monitor::HealthMonitor>,
 }
 
 impl TribeSpec {
@@ -120,6 +125,7 @@ impl TribeSpec {
             execute: false,
             single_region: false,
             telemetry: Telemetry::null(),
+            monitor: None,
         }
     }
 }
@@ -214,7 +220,13 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
     sim_cfg.partitions = spec.partitions.clone();
     sim_cfg.gst = spec.gst;
     sim_cfg.pre_gst_extra_max = spec.pre_gst_extra_max;
-    sim_cfg.telemetry = spec.telemetry.clone();
+    sim_cfg.telemetry = match &spec.monitor {
+        Some(m) => {
+            m.expect_parties(n as u32);
+            spec.telemetry.tee_with(m.observer())
+        }
+        None => spec.telemetry.clone(),
+    };
 
     let (registry, keypairs) = Registry::generate(Scheme::Keyed, n, spec.seed);
     let nodes: Vec<TribeNode> = keypairs
@@ -240,7 +252,10 @@ pub fn build_tribe(spec: &TribeSpec) -> BuiltTribe {
             cfg.is_block_proposer = topology.clan_for_sender(me).contains(me);
             cfg.verify_sigs = spec.verify_sigs;
             cfg.execute = spec.execute;
-            cfg.telemetry = spec.telemetry.clone();
+            cfg.telemetry = match &spec.monitor {
+                Some(m) => spec.telemetry.tee_with(m.probe(me)),
+                None => spec.telemetry.clone(),
+            };
             if let Some(root) = &spec.storage_root {
                 cfg.storage_dir = Some(root.join(format!("node-{i}")));
             }

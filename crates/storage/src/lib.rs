@@ -127,7 +127,12 @@ impl NodeStorage {
                 .open(&tmp)?;
             f.write_all(&frame)?;
             if self.fsync {
+                let start = std::time::Instant::now();
                 f.sync_data()?;
+                self.telemetry.record(
+                    counters::WAL_FSYNC_MICROS,
+                    start.elapsed().as_micros() as u64,
+                );
             }
         }
         fs::rename(&tmp, &live)?;
@@ -140,6 +145,8 @@ impl NodeStorage {
         }
         self.wal.reset()?;
         self.telemetry.add(counters::CHECKPOINT_WRITTEN, 1);
+        self.telemetry
+            .record(counters::CHECKPOINT_BYTES, frame.len() as u64);
         Ok(())
     }
 

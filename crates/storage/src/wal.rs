@@ -118,8 +118,13 @@ impl Wal {
         frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
         if self.fsync {
+            let start = std::time::Instant::now();
             self.file.sync_data()?;
             self.telemetry.add(counters::WAL_FSYNCS, 1);
+            self.telemetry.record(
+                counters::WAL_FSYNC_MICROS,
+                start.elapsed().as_micros() as u64,
+            );
         }
         self.telemetry.add(counters::WAL_APPENDS, 1);
         self.telemetry.add(counters::WAL_BYTES, frame.len() as u64);
@@ -132,8 +137,13 @@ impl Wal {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         if self.fsync {
+            let start = std::time::Instant::now();
             self.file.sync_data()?;
             self.telemetry.add(counters::WAL_FSYNCS, 1);
+            self.telemetry.record(
+                counters::WAL_FSYNC_MICROS,
+                start.elapsed().as_micros() as u64,
+            );
         }
         Ok(())
     }

@@ -101,6 +101,20 @@ pub const WAL_FSYNCS: &str = "wal.fsyncs";
 /// Checkpoints atomically installed (each one rotates the WAL).
 pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
 
+/// Histogram: host-measured latency of each physical `fsync`, in
+/// microseconds. The one host-clock metric in the catalogue — it feeds the
+/// WAL-degradation detector and the bench durability columns, and is
+/// excluded from byte-exact determinism pins for that reason.
+pub const WAL_FSYNC_MICROS: &str = "wal.fsync_us";
+
+/// Histogram: serialized size of each installed checkpoint, in bytes.
+pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes";
+
+/// Vertices committed into the total order (ticked alongside the
+/// `VertexCommitted` event so byte-per-commit ratios can be computed from
+/// counters alone, without an event log).
+pub const COMMIT_VERTICES: &str = "commit.vertices";
+
 /// `StateRequest` messages handled by peers (rate-limited like Pull).
 pub const STATE_TRANSFER_REQUESTS: &str = "state_transfer.requests";
 

@@ -305,6 +305,17 @@ impl Telemetry {
         self.enabled
     }
 
+    /// An enabled handle that fans every call into this handle's recorder
+    /// *and* `other` (via [`TeeRecorder`]). If this handle is disabled,
+    /// `other` simply becomes the recorder — the disabled side stays free.
+    pub fn tee_with(&self, other: Arc<dyn Recorder>) -> Telemetry {
+        if self.enabled {
+            Telemetry::with_recorder(Arc::new(TeeRecorder::new(Arc::clone(&self.rec), other)))
+        } else {
+            Telemetry::with_recorder(other)
+        }
+    }
+
     /// Records `value` into the named histogram.
     #[inline]
     pub fn record(&self, metric: &'static str, value: u64) {

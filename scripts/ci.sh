@@ -115,23 +115,65 @@ cargo run --release --offline -p clanbft-sim --example recovery_smoke -- "$RECOV
 cargo test -q --offline -p clanbft-sim --test fault_injection
 cargo test -q --offline -p clanbft-storage
 
+echo "== health-monitor gate (benign silence, fault alerts, offline parity)"
+# monitor_smoke runs the same single-clan tribe benign and faulty (one
+# withholding clan member plus a crash/restart) under the live monitor and
+# asserts in-process: the benign run fires zero alerts with a healthy
+# verdict, the faulty run fires pull_retry_storm against the starved victim
+# and commit_stall against the crashed party, clears both on recovery, and
+# still ends healthy. Re-judge both exported traces through the inspect
+# binary: `check` for protocol invariants, and the `alerts` offline replay
+# must reach the same verdict shape the online monitor saw.
+MONITOR=target/ci-monitor
+rm -rf "$MONITOR"
+cargo run --release --offline -p clanbft-sim --example monitor_smoke -- "$MONITOR" > /dev/null
+"$INSPECT" --check "$MONITOR/benign.ndjson"
+"$INSPECT" --check "$MONITOR/faulty.ndjson"
+if ! "$INSPECT" alerts "$MONITOR/benign.ndjson" | grep -q "no alerts"; then
+    echo "offline replay found alerts in the benign trace" >&2
+    exit 1
+fi
+FAULTY_ALERTS=$("$INSPECT" alerts "$MONITOR/faulty.ndjson")
+for want in pull_retry_storm commit_stall "verdict: healthy"; do
+    if ! grep -q "$want" <<< "$FAULTY_ALERTS"; then
+        echo "offline alert replay of the faulty trace missing \"$want\"" >&2
+        exit 1
+    fi
+done
+# The live monitor's own alert stream must agree: empty for benign, storm +
+# stall fired and cleared for faulty (files written by monitor_smoke).
+test ! -s "$MONITOR/benign.alerts.ndjson"
+grep -q '"alert":"clear","detector":"commit_stall"' "$MONITOR/faulty.alerts.ndjson"
+grep -q '"alert":"clear","detector":"pull_retry_storm"' "$MONITOR/faulty.alerts.ndjson"
+# Monitor precision/recall suites, named so a detector regression is named
+# in the CI log (also covered by the workspace test run above).
+cargo test -q --offline -p clanbft-monitor
+cargo test -q --offline -p clanbft-sim --test monitor
+
 echo "== bench trajectory (committed summary present and well-formed)"
 # BENCH_summary.json is regenerated by scripts/refresh_bench.sh (the fig5
 # sweep is too slow for CI); here we pin its shape so a stale or truncated
 # commit fails fast: every line must carry the headline and host-rate
 # fields, and the sweep must cover all three figure sections.
-for key in throughput_tps p50_latency_us sim_events_per_sec wall_us_per_sim_sec; do
+for key in throughput_tps p50_latency_us sim_events_per_sec wall_us_per_sim_sec \
+           wal_fsync_p50_us wal_fsync_p99_us wal_bytes_per_commit; do
     if grep -v "\"$key\"" BENCH_summary.json | grep -q .; then
         echo "BENCH_summary.json: line missing \"$key\"" >&2
         exit 1
     fi
 done
-for fig in 5a 5b 5c; do
+for fig in 5a 5b 5c 5d; do
     grep -q "\"figure\":\"$fig\"" BENCH_summary.json || {
         echo "BENCH_summary.json: figure $fig missing" >&2
         exit 1
     }
 done
+# The 5d durability point must carry a real (non-zero) fsync measurement:
+# it is the one section that runs with storage attached.
+if ! grep "\"figure\":\"5d\"" BENCH_summary.json | grep -qv "\"wal_fsync_p99_us\":0,"; then
+    echo "BENCH_summary.json: 5d line has no measured fsync latency" >&2
+    exit 1
+fi
 
 echo "== dependency audit (manifests must declare no external crates)"
 if grep -R "rand\|proptest\|criterion\|crossbeam" crates/*/Cargo.toml Cargo.toml; then

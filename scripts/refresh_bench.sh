@@ -34,7 +34,12 @@ echo "== fig5 sweep: rewrite BENCH_summary.json (this is the slow part)"
 # Default profile: the reduced load grid, minutes. The sweep appends every
 # point to BENCH_fig5.json and truncate-writes the repo-root summary with
 # the best-throughput headline per (figure section, protocol), including
-# the host-cost rates (sim_events_per_sec, wall_us_per_sim_sec).
+# the host-cost rates (sim_events_per_sec, wall_us_per_sim_sec) and — from
+# the 5d durability section, which re-runs one point with every node on a
+# real WAL — the fsync-latency percentiles and WAL bytes per commit
+# (wal_fsync_p50_us / wal_fsync_p99_us / wal_bytes_per_commit; zero for
+# the memory-only sections). fsync numbers are host properties: refresh on
+# the same class of machine you are comparing against.
 cargo bench -q --offline -p clanbft-bench --bench fig5_throughput_latency
 
 echo

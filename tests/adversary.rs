@@ -8,8 +8,15 @@
 //!    `max_round` *is* surviving the window);
 //! 3. **Detection** — at least one `rejected.*` counter tick or recorded
 //!    [`Evidence`] proves the attack actually fired (no vacuous passes).
+//! 4. **Alerting** — the online health monitor rides along on every run:
+//!    evidence-producing attacks must fire the `evidence_spike` detector
+//!    against the real culprits, and attacks the protocol absorbs locally
+//!    (replay, mutated signatures, forged payloads) must leave the
+//!    commit-stall watchdog silent — detector recall on what matters,
+//!    precision on what doesn't.
 
 use clanbft_adversary::Attack;
+use clanbft_monitor::{Detector, HealthMonitor};
 use clanbft_sim::tribe::partition_clans;
 use clanbft_sim::{build_tribe, BuiltTribe, TribeSpec};
 use clanbft_telemetry::{counters, Event, MemRecorder, RbcPhase, Telemetry};
@@ -52,13 +59,39 @@ fn assert_liveness(built: &BuiltTribe, min_round: u64, label: &str) {
     }
 }
 
-/// Runs `spec` with an in-memory telemetry recorder attached.
-fn run(mut spec: TribeSpec) -> (BuiltTribe, Arc<MemRecorder>) {
+/// Runs `spec` with an in-memory telemetry recorder and the online health
+/// monitor attached; the monitor is settled (windows expired) at run end.
+fn run(mut spec: TribeSpec) -> (BuiltTribe, Arc<MemRecorder>, HealthMonitor) {
     let (telemetry, recorder) = Telemetry::mem();
     spec.telemetry = telemetry;
+    let monitor = HealthMonitor::default();
+    spec.monitor = Some(monitor.clone());
     let mut built = build_tribe(&spec);
     built.sim.run_until(Micros::from_secs(300));
-    (built, recorder)
+    monitor.settle();
+    (built, recorder, monitor)
+}
+
+/// The monitor fired `detector` against at least one of `culprits`.
+fn fired_against(monitor: &HealthMonitor, detector: Detector, culprits: &[PartyId]) -> bool {
+    monitor.alerts().iter().any(|a| {
+        a.detector == detector
+            && a.kind == clanbft_monitor::AlertKind::Fire
+            && culprits.contains(&a.party)
+    })
+}
+
+/// No commit-stall fired for any honest party — an absorbed attack must not
+/// look like a liveness incident.
+fn assert_no_honest_stall(monitor: &HealthMonitor, built: &BuiltTribe, label: &str) {
+    for a in monitor.alerts() {
+        assert!(
+            !(a.detector == Detector::CommitStall && built.honest.contains(&a.party)),
+            "[{label}] spurious commit-stall against honest {}: {}",
+            a.party,
+            a.evidence
+        );
+    }
 }
 
 /// Baseline Sailfish tribe of 7 (f = 2) with the given attackers.
@@ -88,10 +121,15 @@ fn equivocation_detected_at_threshold_sailfish() {
     // pairs to disjoint peer halves every round.
     let attackers = [PartyId(1), PartyId(4)];
     let spec = sailfish_spec(attackers.iter().map(|&p| (p, Attack::Equivocate)).collect());
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "equivocate/sailfish");
     assert_liveness(&built, 8, "equivocate/sailfish");
+    assert!(
+        fired_against(&monitor, Detector::EvidenceSpike, &attackers),
+        "evidence_spike never fired against an equivocator"
+    );
+    assert_no_honest_stall(&monitor, &built, "equivocate/sailfish");
     assert!(
         rec.counter(counters::EVIDENCE_RECORDED) >= 1,
         "equivocation left no evidence"
@@ -115,10 +153,14 @@ fn equivocation_detected_inside_single_clan() {
     spec.max_round = Some(8);
     spec.timeout = Micros::from_millis(1_500);
     spec.byzantine = attackers.iter().map(|&p| (p, Attack::Equivocate)).collect();
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "equivocate/single-clan");
     assert_liveness(&built, 8, "equivocate/single-clan");
+    assert!(
+        fired_against(&monitor, Detector::EvidenceSpike, &attackers),
+        "evidence_spike never fired inside the clan"
+    );
     assert!(
         rec.counter(counters::EVIDENCE_RECORDED) >= 1
             && honest_evidence(&built, "equivocating_source", &attackers) >= 1,
@@ -138,10 +180,14 @@ fn equivocation_detected_across_clans_multi_clan() {
     spec.max_round = Some(8);
     spec.timeout = Micros::from_millis(1_500);
     spec.byzantine = attackers.iter().map(|&p| (p, Attack::Equivocate)).collect();
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "equivocate/multi-clan");
     assert_liveness(&built, 8, "equivocate/multi-clan");
+    assert!(
+        fired_against(&monitor, Detector::EvidenceSpike, &attackers),
+        "evidence_spike never fired across clans"
+    );
     assert!(
         rec.counter(counters::EVIDENCE_RECORDED) >= 1
             && honest_evidence(&built, "equivocating_source", &attackers) >= 1,
@@ -160,10 +206,13 @@ fn digest_mismatch_rejected_at_threshold() {
             .map(|&p| (p, Attack::DigestMismatch))
             .collect(),
     );
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "digest-mismatch");
     assert_liveness(&built, 8, "digest-mismatch");
+    // Forged payloads are rejected locally; the absorbed attack must not
+    // read as a liveness incident.
+    assert_no_honest_stall(&monitor, &built, "digest-mismatch");
     assert!(
         rec.counter(counters::REJECTED_BAD_PAYLOAD) >= 1,
         "forged payloads were not rejected"
@@ -187,16 +236,38 @@ fn withholding_recovered_via_pull_path() {
     // pull request; the victims must still deliver 1's certified vertices
     // through the pull/rotation path and commit them.
     let victims = [PartyId(0), PartyId(2)];
-    let spec = sailfish_spec(vec![(
+    let mut spec = sailfish_spec(vec![(
         PartyId(1),
         Attack::Withhold {
             victims: victims.to_vec(),
         },
     )]);
-    let (built, rec) = run(spec);
+    // Tighten the pull deadline so the victims' retries cluster densely
+    // enough for the storm detector (which fires on 6 retries in 1 s).
+    spec.pull_retry = Micros::from_millis(100);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "withhold");
     assert_liveness(&built, 8, "withhold");
+    // The storm detector must fire against a victim while the withholder
+    // starves it, and clear once the pull path recovers the payloads —
+    // leaving the final verdict healthy.
+    assert!(
+        fired_against(&monitor, Detector::PullRetryStorm, &victims),
+        "pull_retry_storm never fired against a victim: {}",
+        monitor.alerts_ndjson()
+    );
+    for &v in &victims {
+        assert!(
+            !monitor.with_bank(|b| b.is_active(Detector::PullRetryStorm, v)),
+            "storm never cleared for victim {v}"
+        );
+    }
+    assert_eq!(
+        monitor.assess().verdict,
+        clanbft_monitor::Verdict::Healthy,
+        "recovered withholding left a degraded verdict"
+    );
     // The attack fired: somebody had to fall back to a pull.
     let pulls = rec
         .events()
@@ -229,13 +300,21 @@ fn replay_absorbed_as_duplicates() {
     // Same spec and seed, with and without f = 2 replaying attackers:
     // duplicates strictly grow, commits stay identical on honest nodes.
     let attackers = [PartyId(1), PartyId(4)];
-    let (benign_built, benign_rec) = run(sailfish_spec(Vec::new()));
-    let (built, rec) = run(sailfish_spec(
+    let (benign_built, benign_rec, benign_monitor) = run(sailfish_spec(Vec::new()));
+    let (built, rec, monitor) = run(sailfish_spec(
         attackers.iter().map(|&p| (p, Attack::Replay)).collect(),
     ));
 
     assert_agreement(&built, "replay");
     assert_liveness(&built, 8, "replay");
+    // The benign twin is alert-free by construction; the replayed traffic
+    // is absorbed as duplicates and must not alarm either.
+    assert!(
+        benign_monitor.alerts().is_empty(),
+        "benign baseline alerted: {}",
+        benign_monitor.alerts_ndjson()
+    );
+    assert_no_honest_stall(&monitor, &built, "replay");
     assert_liveness(&benign_built, 8, "replay/benign-baseline");
     assert!(
         rec.counter(counters::REJECTED_DUPLICATE)
@@ -254,10 +333,11 @@ fn mutated_signatures_rejected_at_threshold() {
     let attackers = [PartyId(1), PartyId(4)];
     let mut spec = sailfish_spec(attackers.iter().map(|&p| (p, Attack::MutateSig)).collect());
     spec.verify_sigs = true;
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "mutate-sig");
     assert_liveness(&built, 8, "mutate-sig");
+    assert_no_honest_stall(&monitor, &built, "mutate-sig");
     assert!(
         rec.counter(counters::REJECTED_BAD_SIG) >= 1,
         "mutated signatures were not rejected"
@@ -270,10 +350,14 @@ fn double_votes_yield_evidence() {
     // The leader must count at most one and record DoubleVote evidence.
     let attackers = [PartyId(1), PartyId(4)];
     let spec = sailfish_spec(attackers.iter().map(|&p| (p, Attack::DoubleVote)).collect());
-    let (built, rec) = run(spec);
+    let (built, rec, monitor) = run(spec);
 
     assert_agreement(&built, "double-vote");
     assert_liveness(&built, 8, "double-vote");
+    assert!(
+        fired_against(&monitor, Detector::EvidenceSpike, &attackers),
+        "evidence_spike never fired against a double-voter"
+    );
     assert!(
         honest_evidence(&built, "double_vote", &attackers) >= 1,
         "conflicting votes left no DoubleVote evidence"

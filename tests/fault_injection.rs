@@ -2,6 +2,7 @@
 //! asynchrony, and link partitions — the paper's partial-synchrony model
 //! exercised end to end.
 
+use clanbft_monitor::{AlertKind, Detector, HealthMonitor, Verdict};
 use clanbft_sim::{build_tribe, TribeSpec};
 use clanbft_simnet::net::Partition;
 use clanbft_types::{Micros, PartyId, Round, VertexRef};
@@ -248,6 +249,60 @@ fn assert_exactly_once(observer: &clanbft_consensus::SailfishNode, proposer: Par
     }
 }
 
+/// `detector` must fire for `party` while it is down and clear once the
+/// restarted incarnation rejoins; the run must end healthy.
+///
+/// Which detector is "expected" depends on the outage shape: a small tribe
+/// pauses commits entirely while a member is down (lag-based stall detection
+/// judges a party by the *others'* progress, so it stays silent by design)
+/// and the outage shows up as round skew instead; a tribe that keeps
+/// committing through a long outage trips the commit-stall watchdog.
+fn assert_fired_and_cleared(
+    monitor: &HealthMonitor,
+    detector: Detector,
+    party: PartyId,
+    label: &str,
+) {
+    monitor.settle();
+    let alerts = monitor.alerts();
+    let fire_at = alerts
+        .iter()
+        .find(|a| a.detector == detector && a.kind == AlertKind::Fire && a.party == party)
+        .unwrap_or_else(|| {
+            panic!(
+                "{label}: {} never fired for {party}: {alerts:?}",
+                detector.label()
+            )
+        })
+        .at;
+    let clear = alerts
+        .iter()
+        .find(|a| a.detector == detector && a.kind == AlertKind::Clear && a.party == party)
+        .unwrap_or_else(|| {
+            panic!(
+                "{label}: {} never cleared for {party}: {alerts:?}",
+                detector.label()
+            )
+        });
+    assert!(
+        clear.at > fire_at,
+        "{label}: clear at {} precedes fire at {}",
+        clear.at.0,
+        fire_at.0
+    );
+    assert!(
+        !monitor.with_bank(|b| b.is_active(detector, party)),
+        "{label}: {} still active for {party} after recovery",
+        detector.label()
+    );
+    let snap = monitor.assess();
+    assert_eq!(
+        snap.verdict,
+        Verdict::Healthy,
+        "{label}: cluster not healthy after recovery: {snap:?}"
+    );
+}
+
 #[test]
 fn restarted_follower_recovers_from_wal() {
     // n = 4, whole tribe. Party 2 crashes early and restarts 1.7 s later:
@@ -262,8 +317,13 @@ fn restarted_follower_recovers_from_wal() {
     spec.gc_depth = None; // keep blocks: the exactly-once audit reads them
     spec.crashes = vec![(PartyId(2), Micros::from_millis(900))];
     spec.restarts = vec![(PartyId(2), Micros::from_millis(2_600))];
+    let monitor = HealthMonitor::default();
+    spec.monitor = Some(monitor.clone());
     let mut built = build_tribe(&spec);
     built.sim.run_until(Micros::from_secs(300));
+    // n = 4 pauses commits while a member is down, so the outage registers
+    // as round skew rather than a commit stall.
+    assert_fired_and_cleared(&monitor, Detector::RoundSkew, PartyId(2), "follower");
     let all: Vec<PartyId> = (0..4u32).map(PartyId).collect();
     assert_seq_agreement(&built, &all);
     let node2 = built.sim.node(PartyId(2));
@@ -335,8 +395,14 @@ fn f_staggered_restarts_preserve_agreement() {
         (PartyId(1), Micros::from_millis(2_400)),
         (PartyId(5), Micros::from_millis(5_200)),
     ];
+    let monitor = HealthMonitor::default();
+    spec.monitor = Some(monitor.clone());
     let mut built = build_tribe(&spec);
     built.sim.run_until(Micros::from_secs(300));
+    // Party 1's short early outage registers as round skew; party 5 is down
+    // long enough, against a committing quorum, to trip the stall watchdog.
+    assert_fired_and_cleared(&monitor, Detector::RoundSkew, PartyId(1), "staggered");
+    assert_fired_and_cleared(&monitor, Detector::CommitStall, PartyId(5), "staggered");
     let all: Vec<PartyId> = (0..7u32).map(PartyId).collect();
     assert_seq_agreement(&built, &all);
     for &p in &[PartyId(1), PartyId(5)] {

@@ -4,6 +4,7 @@
 
 use clanbft_consensus::{NodeConfig, SailfishNode};
 use clanbft_crypto::{Authenticator, Registry, Scheme};
+use clanbft_monitor::{HealthMonitor, Severity, Verdict};
 use clanbft_rbc::ClanTopology;
 use clanbft_simnet::transport::run_live;
 use clanbft_types::{Micros, PartyId, TribeParams, VertexRef};
@@ -11,6 +12,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn make_nodes(n: usize, clan: Option<Vec<u32>>, txs: u32, max_round: u64) -> Vec<SailfishNode> {
+    make_monitored_nodes(n, clan, txs, max_round, None)
+}
+
+/// Like [`make_nodes`], but optionally tees each node's telemetry into a
+/// [`HealthMonitor`] probe — the live-deployment wiring, where every party
+/// streams into the shared monitor from its own OS thread.
+fn make_monitored_nodes(
+    n: usize,
+    clan: Option<Vec<u32>>,
+    txs: u32,
+    max_round: u64,
+    monitor: Option<&HealthMonitor>,
+) -> Vec<SailfishNode> {
     let tribe = TribeParams::new(n);
     let topology = Arc::new(match clan {
         None => ClanTopology::whole_tribe(tribe),
@@ -30,6 +44,9 @@ fn make_nodes(n: usize, clan: Option<Vec<u32>>, txs: u32, max_round: u64) -> Vec
             // Generous timeout: live-thread scheduling jitter must not trip
             // the no-vote path in a benign run.
             cfg.timeout = Micros::from_secs(10);
+            if let Some(m) = monitor {
+                cfg.telemetry = cfg.telemetry.tee_with(m.probe(me));
+            }
             SailfishNode::new(cfg, auth)
         })
         .collect()
@@ -74,4 +91,42 @@ fn live_single_clan_tribe() {
             assert!(clan.contains(&c.vertex.source.0));
         }
     }
+}
+
+#[test]
+fn live_run_stays_healthy_under_the_monitor() {
+    // Each node tees its telemetry into the shared monitor from its own OS
+    // thread (events are wall-stamped against the transport's shared epoch,
+    // so cross-party stamps are comparable). The benign run must end
+    // healthy with no critical alert ever fired and nothing left active;
+    // transient warnings from real scheduling jitter are tolerated, but
+    // they must have cleared by run end.
+    let monitor = HealthMonitor::default();
+    monitor.expect_parties(4);
+    let nodes = make_monitored_nodes(4, None, 25, 6, Some(&monitor));
+    let done = run_live(nodes, Duration::from_secs(5));
+    assert!(
+        done.iter().all(|n| !n.committed_log.is_empty()),
+        "live tribe committed nothing"
+    );
+    monitor.settle();
+    let critical: Vec<_> = monitor
+        .alerts()
+        .into_iter()
+        .filter(|a| a.severity == Severity::Critical)
+        .collect();
+    assert!(
+        critical.is_empty(),
+        "benign live run fired critical alerts: {critical:?}"
+    );
+    let snap = monitor.assess();
+    assert_eq!(
+        snap.verdict,
+        Verdict::Healthy,
+        "benign live run ended unhealthy: {snap:?}"
+    );
+    assert!(
+        monitor.with_bank(|b| b.active().is_empty()),
+        "alerts still active after a benign live run"
+    );
 }

@@ -1,0 +1,125 @@
+//! Online health monitoring over live runs: the benign matrix must be
+//! alert-free *by construction* — every detector silent, verdict healthy,
+//! snapshot stream healthy end to end — across baseline, single-clan and
+//! multi-clan topologies. Detector *recall* (attacks firing the expected
+//! detector) lives in `tests/adversary.rs` and `tests/fault_injection.rs`;
+//! this file pins detector *precision*.
+
+use clanbft_monitor::{HealthMonitor, Verdict};
+use clanbft_sim::tribe::{elect_clan, partition_clans};
+use clanbft_sim::{build_tribe, TribeSpec};
+use clanbft_types::Micros;
+
+/// Builds `spec` with a fresh monitor attached, runs it to quiescence, and
+/// returns the settled monitor.
+fn run_monitored(mut spec: TribeSpec) -> HealthMonitor {
+    let monitor = HealthMonitor::default();
+    spec.monitor = Some(monitor.clone());
+    let mut built = build_tribe(&spec);
+    built.sim.run_until(Micros::from_secs(240));
+    monitor.settle();
+    monitor
+}
+
+/// The benign contract: zero alerts, healthy verdict, every periodic
+/// snapshot healthy with no active alerts, and a monotone snapshot clock.
+fn assert_benign(monitor: &HealthMonitor, label: &str) {
+    let alerts = monitor.alerts();
+    assert!(
+        alerts.is_empty(),
+        "{label}: benign run emitted alerts: {alerts:?}"
+    );
+    assert_eq!(monitor.alerts_ndjson(), "", "{label}: NDJSON not empty");
+    let snap = monitor.assess();
+    assert_eq!(snap.verdict, Verdict::Healthy, "{label}: {snap:?}");
+    assert!(snap.stalled_parties.is_empty(), "{label}: {snap:?}");
+    assert!(snap.degraded_parties.is_empty(), "{label}: {snap:?}");
+    monitor.with_bank(|bank| {
+        let snaps = bank.snapshots().to_vec();
+        assert!(
+            !snaps.is_empty(),
+            "{label}: a live run must produce periodic snapshots"
+        );
+        let mut prev = Micros::ZERO;
+        for s in &snaps {
+            assert!(s.at >= prev, "{label}: snapshot clock went backwards");
+            prev = s.at;
+            assert_eq!(s.verdict, Verdict::Healthy, "{label}: {s:?}");
+            assert_eq!(s.active_alerts, 0, "{label}: {s:?}");
+        }
+        assert_eq!(bank.snapshots_skipped(), 0, "{label}: snapshots dropped");
+    });
+}
+
+#[test]
+fn benign_baseline_is_alert_free() {
+    let mut spec = TribeSpec::new(7);
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(8);
+    let monitor = run_monitored(spec);
+    assert_benign(&monitor, "baseline");
+    // All seven parties are visible to the verdict even though only the
+    // event stream fed the bank.
+    assert_eq!(monitor.assess().parties, 7);
+}
+
+#[test]
+fn benign_single_clan_is_alert_free() {
+    let mut spec = TribeSpec::new(7);
+    spec.clans = Some(vec![elect_clan(7, 4, 42)]);
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(8);
+    spec.seed = 42;
+    assert_benign(&run_monitored(spec), "single-clan");
+}
+
+#[test]
+fn benign_multi_clan_is_alert_free() {
+    let mut spec = TribeSpec::new(9);
+    spec.clans = Some(partition_clans(9, 3, 5));
+    spec.txs_per_proposal = 40;
+    spec.max_round = Some(8);
+    assert_benign(&run_monitored(spec), "multi-clan");
+}
+
+#[test]
+fn benign_prometheus_exposition_reads_healthy() {
+    let mut spec = TribeSpec::new(7);
+    spec.txs_per_proposal = 30;
+    spec.max_round = Some(6);
+    let monitor = run_monitored(spec);
+    let text = monitor.prometheus();
+    assert!(
+        text.contains("clanbft_health_verdict 0\n"),
+        "verdict gauge missing or unhealthy:\n{text}"
+    );
+    assert!(
+        text.contains("clanbft_health_parties 7\n"),
+        "party gauge wrong:\n{text}"
+    );
+    assert!(
+        !text.contains("clanbft_alert_active{"),
+        "benign run exports active alert series:\n{text}"
+    );
+}
+
+#[test]
+fn snapshot_ndjson_is_well_formed() {
+    let mut spec = TribeSpec::new(4);
+    spec.txs_per_proposal = 20;
+    spec.max_round = Some(6);
+    let monitor = run_monitored(spec);
+    let ndjson = monitor.snapshots_ndjson();
+    assert!(!ndjson.is_empty());
+    for line in ndjson.lines() {
+        assert!(
+            line.starts_with("{\"at\":") && line.ends_with('}'),
+            "malformed snapshot line: {line}"
+        );
+        assert!(
+            line.contains("\"health\":\"healthy\""),
+            "benign snapshot not healthy: {line}"
+        );
+        assert!(line.contains("\"active_alerts\":0"), "{line}");
+    }
+}
